@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablation studies, printing each as a text
+// table. -scale selects between the full paper-sized runs and a quick
+// reduced-cost configuration; -out additionally writes the report to a
+// file; -only restricts to a comma-separated subset of experiment ids
+// (table1, figure2, table3, table4, table5, figure1, figure4, figure5,
+// figure6, figure7, ablations, families, adaptive, significance, power,
+// validation, extended, screening, statsim).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"predperf/internal/exper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	scaleName := flag.String("scale", "paper", "experiment scale: paper or quick")
+	out := flag.String("out", "", "also write the report to this file")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	flag.Parse()
+
+	var scale exper.Scale
+	switch *scaleName {
+	case "paper":
+		scale = exper.PaperScale()
+	case "quick":
+		scale = exper.QuickScale()
+	default:
+		log.Fatalf("unknown scale %q (want paper or quick)", *scaleName)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	r := exper.NewRunner(scale)
+	start := time.Now()
+	fmt.Fprintf(w, "predperf experiment suite — scale=%s (traces: %d instructions)\n\n", scale.Name, scale.TraceLen)
+
+	section := func(id string, run func() (fmt.Stringer, error)) {
+		if !sel(id) {
+			return
+		}
+		t0 := time.Now()
+		res, err := run()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(w, "=== %s (%.1fs) ===\n%s\n", id, time.Since(t0).Seconds(), res)
+	}
+
+	section("table1", func() (fmt.Stringer, error) { return exper.RunTable1(), nil })
+	section("figure2", func() (fmt.Stringer, error) { return exper.RunFigure2(r), nil })
+	section("figure1", func() (fmt.Stringer, error) { return exper.RunFigure1(r, "vortex") })
+	section("table3", func() (fmt.Stringer, error) { return exper.RunTable3(r) })
+	section("table4", func() (fmt.Stringer, error) { return exper.RunTable4(r, "mcf") })
+	section("table5", func() (fmt.Stringer, error) { return exper.RunTable5(r, "mcf", "vortex") })
+	section("figure4", func() (fmt.Stringer, error) {
+		benches := []string{"mcf", "twolf"}
+		if scale.Name == "quick" {
+			benches = scale.SweepBench
+		}
+		return exper.RunFigure4(r, benches...)
+	})
+	section("figure5", func() (fmt.Stringer, error) { return exper.RunFigure5(r, "mcf") })
+	section("figure6", func() (fmt.Stringer, error) { return exper.RunFigure6(r, "vortex") })
+	section("figure7", func() (fmt.Stringer, error) { return exper.RunFigure7(r, scale.SweepBench...) })
+	section("ablations", func() (fmt.Stringer, error) { return exper.RunAblations(r, "mcf") })
+	section("families", func() (fmt.Stringer, error) { return exper.RunFamilies(r, "mcf") })
+	section("adaptive", func() (fmt.Stringer, error) { return exper.RunAdaptive(r, "mcf") })
+	section("significance", func() (fmt.Stringer, error) { return exper.RunSignificance(r) })
+	section("power", func() (fmt.Stringer, error) { return exper.RunPowerTable(r) })
+	section("validation", func() (fmt.Stringer, error) { return exper.RunValidation(r, "mcf", "vortex") })
+	section("extended", func() (fmt.Stringer, error) {
+		benches := []string{"gzip", "gcc", "bzip2", "vpr"}
+		return exper.RunExtended(r, benches)
+	})
+	section("screening", func() (fmt.Stringer, error) { return exper.RunScreening(r, "mcf") })
+	section("statsim", func() (fmt.Stringer, error) { return exper.RunStatSim(r, "twolf") })
+
+	fmt.Fprintf(w, "total: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,202 @@
+// Command predperf builds a predictive model for a benchmark workload
+// using the paper's BuildRBFModel procedure (or the §6 adaptive-sampling
+// extension), validates it on an independent random test set, and
+// optionally compares it against the linear-regression baseline,
+// predicts a specific configuration, or saves/loads the fitted model.
+//
+// Usage:
+//
+//	predperf -bench mcf -sample 90                 # build + validate
+//	predperf -bench mcf -sample 90 -linear         # also fit the baseline
+//	predperf -bench mcf -sample 90 -metric edp     # model energy-delay product
+//	predperf -bench mcf -sample 90 -adaptive       # adaptive sampling at the same budget
+//	predperf -bench mcf -sample 90 -save m.json    # persist the model
+//	predperf -bench mcf -load m.json \
+//	         -predict "depth=10,rob=96,iq=48,lsq=48,l2kb=4096,l2lat=8,il1kb=32,dl1kb=32,dl1lat=2"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"predperf"
+	"predperf/internal/adaptive"
+	"predperf/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predperf: ")
+
+	bench := flag.String("bench", "mcf", "benchmark workload ("+strings.Join(predperf.Benchmarks(), ", ")+")")
+	insts := flag.Int("insts", 150_000, "trace length in dynamic instructions")
+	sampleSize := flag.Int("sample", 90, "training sample size (design points simulated)")
+	testN := flag.Int("test", 50, "random test points for validation")
+	candidates := flag.Int("lhs", 100, "latin hypercube candidates scored by discrepancy")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	parallel := flag.Int("parallel", 1, "simulation workers")
+	metricName := flag.String("metric", "cpi", "response to model: cpi, epi, edp, or power")
+	linear := flag.Bool("linear", false, "also fit and validate the linear baseline")
+	adaptiveFlag := flag.Bool("adaptive", false, "use adaptive sampling (§6 extension) at the same budget")
+	saveFile := flag.String("save", "", "write the fitted model to this file (JSON)")
+	loadFile := flag.String("load", "", "load a model instead of building one")
+	predict := flag.String("predict", "", "comma-separated config to predict, e.g. depth=12,rob=96,...")
+	flag.Parse()
+
+	var metric core.Metric
+	switch strings.ToLower(*metricName) {
+	case "cpi":
+		metric = core.MetricCPI
+	case "epi":
+		metric = core.MetricEPI
+	case "edp":
+		metric = core.MetricEDP
+	case "power":
+		metric = core.MetricPower
+	default:
+		log.Fatalf("unknown metric %q (want cpi, epi, edp, or power)", *metricName)
+	}
+
+	base, err := core.NewSimEvaluator(*bench, *insts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := base.WithMetric(metric)
+	opt := predperf.Options{LHSCandidates: *candidates, Seed: *seed, Parallel: *parallel}
+
+	var m *predperf.Model
+	switch {
+	case *loadFile != "":
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded model from %s: %d training points, %d RBF centers\n",
+			*loadFile, m.SampleSize, m.Fit.NumCenters())
+	case *adaptiveFlag:
+		fmt.Printf("adaptive build for %s (%s): budget %d simulations\n", *bench, metric, *sampleSize)
+		var rounds []adaptive.Round
+		m, rounds, err = adaptive.Build(ev, adaptive.Options{
+			InitialSize: *sampleSize / 3,
+			BatchSize:   *sampleSize / 6,
+			MaxSize:     *sampleSize,
+			Seed:        *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rd := range rounds {
+			fmt.Printf("  size %3d: cross-validation %.2f%%, %d centers\n", rd.Size, rd.CVMean, rd.Centers)
+		}
+	default:
+		fmt.Printf("building RBF model for %s (%s): %d design points, %d-instruction traces\n",
+			*bench, metric, *sampleSize, *insts)
+		m, err = predperf.BuildModel(ev, *sampleSize, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sample discrepancy : %.5f\n", m.Discrepancy)
+	}
+	fmt.Printf("  method parameters  : p_min=%d alpha=%.0f\n", m.Fit.PMin, m.Fit.Alpha)
+	fmt.Printf("  RBF centers        : %d\n", m.Fit.NumCenters())
+
+	ts := predperf.NewTestSet(ev, nil, *testN, *seed+77)
+	st := m.Validate(ts)
+	fmt.Printf("  validation (%d random points): mean %.2f%%, max %.2f%%, std %.2f%%\n",
+		st.N, st.Mean, st.Max, st.Std)
+	fmt.Printf("  simulations run    : %d\n", base.Simulations())
+
+	if *linear {
+		lm, err := predperf.BuildLinear(ev, *sampleSize, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lst := lm.Validate(ts)
+		fmt.Printf("linear baseline: mean %.2f%%, max %.2f%% (%d terms kept)\n",
+			lst.Mean, lst.Max, len(lm.Fit.Terms))
+	}
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *saveFile)
+	}
+
+	if *predict != "" {
+		cfg, err := parseConfig(*predict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := m.PredictConfig(cfg)
+		actual := ev.Eval(cfg)
+		fmt.Printf("prediction for %s\n", cfg)
+		fmt.Printf("  model %s     : %.4f\n", metric, pred)
+		fmt.Printf("  simulated %s : %.4f (error %.2f%%)\n", metric, actual,
+			100*abs(pred-actual)/actual)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// parseConfig reads "depth=12,rob=96,iq=48,lsq=48,l2kb=2048,l2lat=10,il1kb=32,dl1kb=32,dl1lat=2".
+func parseConfig(s string) (predperf.Config, error) {
+	cfg := predperf.Config{
+		PipeDepth: 12, ROBSize: 96, IQSize: 48, LSQSize: 48,
+		L2SizeKB: 2048, L2Lat: 10, IL1SizeKB: 32, DL1SizeKB: 32, DL1Lat: 2,
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("bad field %q", kv)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return cfg, fmt.Errorf("bad value in %q: %v", kv, err)
+		}
+		switch parts[0] {
+		case "depth":
+			cfg.PipeDepth = v
+		case "rob":
+			cfg.ROBSize = v
+		case "iq":
+			cfg.IQSize = v
+		case "lsq":
+			cfg.LSQSize = v
+		case "l2kb":
+			cfg.L2SizeKB = v
+		case "l2lat":
+			cfg.L2Lat = v
+		case "il1kb":
+			cfg.IL1SizeKB = v
+		case "dl1kb":
+			cfg.DL1SizeKB = v
+		case "dl1lat":
+			cfg.DL1Lat = v
+		default:
+			return cfg, fmt.Errorf("unknown field %q", parts[0])
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,83 @@
+// Command simulate runs the cycle-level superscalar simulator at one
+// design point on one benchmark workload and prints the detailed run
+// statistics.
+//
+// Usage:
+//
+//	simulate -bench mcf -insts 150000 -depth 12 -rob 96 -iq 48 -lsq 48 \
+//	         -l2kb 2048 -l2lat 10 -il1kb 32 -dl1kb 32 -dl1lat 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"predperf"
+	"predperf/internal/sim"
+	"predperf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+
+	bench := flag.String("bench", "mcf", "benchmark workload ("+strings.Join(predperf.Benchmarks(), ", ")+")")
+	insts := flag.Int("insts", 150_000, "trace length in dynamic instructions")
+	depth := flag.Int("depth", 12, "pipeline depth (7-24)")
+	rob := flag.Int("rob", 96, "reorder buffer entries (24-128)")
+	iq := flag.Int("iq", 48, "issue queue entries")
+	lsq := flag.Int("lsq", 48, "load/store queue entries")
+	l2kb := flag.Int("l2kb", 2048, "L2 size in KB (256-8192)")
+	l2lat := flag.Int("l2lat", 10, "L2 hit latency in cycles (5-20)")
+	il1kb := flag.Int("il1kb", 32, "L1I size in KB (8-64)")
+	dl1kb := flag.Int("dl1kb", 32, "L1D size in KB (8-64)")
+	dl1lat := flag.Int("dl1lat", 2, "L1D hit latency in cycles (1-4)")
+	traceFile := flag.String("trace", "", "run a binary trace file (from tracegen -o) instead of a named benchmark")
+	flag.Parse()
+
+	cfg := predperf.Config{
+		PipeDepth: *depth, ROBSize: *rob, IQSize: *iq, LSQSize: *lsq,
+		L2SizeKB: *l2kb, L2Lat: *l2lat, IL1SizeKB: *il1kb, DL1SizeKB: *dl1kb, DL1Lat: *dl1lat,
+	}
+	var res predperf.SimResult
+	var err error
+	workload := *bench
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		tr, terr := trace.ReadTrace(f)
+		f.Close()
+		if terr != nil {
+			log.Fatal(terr)
+		}
+		sc := sim.FromDesign(cfg)
+		sc.WarmupInsts = len(tr) / 5
+		res = sim.Run(sc, tr)
+		workload = *traceFile
+		*insts = len(tr)
+	} else {
+		res, err = predperf.Simulate(cfg, *bench, *insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("benchmark : %s (%d instructions)\n", workload, *insts)
+	fmt.Printf("config    : %s\n", cfg)
+	fmt.Printf("cycles    : %d\n", res.Cycles)
+	fmt.Printf("CPI       : %.4f   (IPC %.3f)\n", res.CPI(), res.IPC())
+	fmt.Printf("branches  : %.2f%% mispredicted (%.2f per 1k insts)\n",
+		100*res.BPStats.MispredictRate(), res.MispredictsPerKI())
+	fmt.Printf("IL1 miss  : %.3f%%\n", 100*res.IL1Stats.MissRate())
+	fmt.Printf("DL1 miss  : %.3f%%\n", 100*res.DL1Stats.MissRate())
+	fmt.Printf("L2 miss   : %.3f%%\n", 100*res.L2Stats.MissRate())
+	fmt.Printf("DRAM      : %d requests, %d row hits, %d conflicts, %d queue stalls\n",
+		res.MemStats.Requests, res.MemStats.RowHits, res.MemStats.RowConflicts, res.MemStats.QueueStalls)
+	fmt.Printf("stalls    : fetch %d, ROB %d, IQ %d, LSQ %d cycles\n",
+		res.FetchStallCycles, res.ROBStallCycles, res.IQStallCycles, res.LSQStallCycles)
+	fmt.Printf("forwards  : %d store→load\n", res.LoadForwards)
+}

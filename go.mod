@@ -1,0 +1,3 @@
+module predperf
+
+go 1.22

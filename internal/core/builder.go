@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"predperf/internal/design"
+	"predperf/internal/linreg"
+	"predperf/internal/rbf"
+	"predperf/internal/sample"
+)
+
+// Options configures the model-building procedure. Zero values take the
+// defaults used throughout the paper reproduction.
+type Options struct {
+	Space         *design.Space // modeling space; default Table 1
+	LHSCandidates int           // latin hypercube draws scored by discrepancy
+	RBF           rbf.Options   // (p_min, α) grids etc.
+	Seed          int64         // sampling seed
+	// Parallel simulates sample points with this many workers (results
+	// are deterministic regardless of the setting). 0 or 1 = serial.
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Space == nil {
+		o.Space = design.PaperSpace()
+	}
+	if o.LHSCandidates <= 0 {
+		o.LHSCandidates = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Model is a fitted non-linear CPI model over a design space.
+type Model struct {
+	Space      *design.Space
+	SampleSize int
+	Fit        *rbf.FitResult
+
+	// Training data: the simulated configurations (encoded into model
+	// coordinates) and their responses.
+	Points    []design.Point
+	Configs   []design.Config
+	Responses []float64
+
+	// Discrepancy of the chosen latin hypercube sample (Figure 2).
+	Discrepancy float64
+}
+
+// Predict evaluates the model at a normalized point in the model space.
+func (m *Model) Predict(pt design.Point) float64 {
+	return m.Fit.Predict(pt)
+}
+
+// PredictConfig evaluates the model at a concrete configuration.
+func (m *Model) PredictConfig(cfg design.Config) float64 {
+	return m.Fit.Predict(m.Space.Encode(cfg))
+}
+
+// sampleAndSimulate draws the space-filling sample (steps 2–3 of the
+// procedure) and obtains responses from the evaluator, optionally with
+// several workers.
+func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point, cfgs []design.Config, ys []float64, disc float64) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	raw, disc := sample.BestLHS(opt.Space, size, opt.LHSCandidates, rng)
+	pts = make([]design.Point, len(raw))
+	cfgs = make([]design.Config, len(raw))
+	ys = make([]float64, len(raw))
+	for i, p := range raw {
+		cfg := opt.Space.Decode(p, size)
+		cfgs[i] = cfg
+		pts[i] = opt.Space.Encode(cfg)
+	}
+	evalAll(ev, cfgs, ys, opt.Parallel)
+	return pts, cfgs, ys, disc
+}
+
+// evalAll fills ys[i] = ev.Eval(cfgs[i]), using workers goroutines when
+// workers > 1. Responses land at fixed indices, so results are
+// deterministic for a deterministic evaluator.
+func evalAll(ev Evaluator, cfgs []design.Config, ys []float64, workers int) {
+	if workers <= 1 || len(cfgs) < 2 {
+		for i, cfg := range cfgs {
+			ys[i] = ev.Eval(cfg)
+		}
+		return
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ys[i] = ev.Eval(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// BuildRBFModel runs the paper's model construction procedure at one
+// sample size: select a latin hypercube sample with the best L2-star
+// discrepancy, simulate the selected design points, and fit an RBF
+// network with regression-tree centers and AICc subset selection,
+// searching the (p_min, α) grid.
+func BuildRBFModel(ev Evaluator, size int, opt Options) (*Model, error) {
+	if size < 4 {
+		return nil, errors.New("core: sample size must be at least 4")
+	}
+	opt = opt.withDefaults()
+	pts, cfgs, ys, disc := sampleAndSimulate(ev, size, opt)
+	fit, err := rbf.Fit(asFloats(pts), ys, opt.RBF)
+	if err != nil {
+		return nil, fmt.Errorf("core: RBF fit failed: %w", err)
+	}
+	return &Model{
+		Space:       opt.Space,
+		SampleSize:  size,
+		Fit:         fit,
+		Points:      pts,
+		Configs:     cfgs,
+		Responses:   ys,
+		Discrepancy: disc,
+	}, nil
+}
+
+// LinearModel is the §4.2 baseline: main effects + two-parameter
+// interactions with AIC variable selection, trained on the same kind of
+// space-filling sample as the RBF models.
+type LinearModel struct {
+	Space      *design.Space
+	SampleSize int
+	Fit        *linreg.Model
+}
+
+// Predict evaluates the linear model at a normalized point.
+func (m *LinearModel) Predict(pt design.Point) float64 {
+	return m.Fit.Predict(pt)
+}
+
+// BuildLinearModel builds the baseline linear model from an identically
+// constructed sample (same seed → same sample as the RBF build).
+func BuildLinearModel(ev Evaluator, size int, opt Options) (*LinearModel, error) {
+	if size < 4 {
+		return nil, errors.New("core: sample size must be at least 4")
+	}
+	opt = opt.withDefaults()
+	pts, _, ys, _ := sampleAndSimulate(ev, size, opt)
+	fit, err := linreg.Fit(asFloats(pts), ys)
+	if err != nil {
+		return nil, fmt.Errorf("core: linear fit failed: %w", err)
+	}
+	return &LinearModel{Space: opt.Space, SampleSize: size, Fit: fit}, nil
+}
+
+func asFloats(pts []design.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}

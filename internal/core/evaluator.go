@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the
+// BuildRBFModel procedure of §1/§2 that turns a design space, a
+// space-filling sample, and a cycle-accurate simulator into an accurate
+// non-linear predictive model of CPI — plus its validation loop (random
+// test sets, mean/max/std percentage error), the iterative sample-size
+// escalation of step 6, and the linear-regression baseline pipeline used
+// for the §4.2 comparison.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"predperf/internal/design"
+	"predperf/internal/sim"
+	"predperf/internal/trace"
+)
+
+// Evaluator produces the response (CPI) at a concrete design point.
+// Implementations stand in for the paper's "detailed simulation" step
+// and are expected to be deterministic.
+type Evaluator interface {
+	Eval(cfg design.Config) float64
+}
+
+// Metric selects which response a SimEvaluator reports — the paper
+// models CPI, and its §6 conclusion notes the same machinery applies to
+// power-oriented metrics, which the simulator's activity-based power
+// model provides.
+type Metric int
+
+const (
+	// MetricCPI is cycles per instruction (the paper's response).
+	MetricCPI Metric = iota
+	// MetricEPI is energy per instruction in nanojoules.
+	MetricEPI
+	// MetricEDP is the energy-delay product per instruction (nJ·cycles).
+	MetricEDP
+	// MetricPower is average power in watts at 2 GHz.
+	MetricPower
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricEPI:
+		return "EPI"
+	case MetricEDP:
+		return "EDP"
+	case MetricPower:
+		return "power"
+	default:
+		return "CPI"
+	}
+}
+
+// SimEvaluator runs the cycle-level simulator on a fixed benchmark trace
+// and memoizes full results by configuration, so repeated model builds
+// (e.g. the sample-size sweep of Figure 4) never simulate the same
+// machine twice — even across different metrics.
+type SimEvaluator struct {
+	Benchmark string
+	TraceLen  int
+	Metric    Metric // response reported by Eval; default MetricCPI
+
+	tr    trace.Trace
+	state *simCache // shared across WithMetric views
+}
+
+// simCache is the memoization state shared by all metric views of one
+// evaluator.
+type simCache struct {
+	mu    sync.Mutex
+	cache map[string]sim.Result
+	sims  int
+}
+
+// NewSimEvaluator builds a CPI evaluator for one of the benchmark
+// profiles.
+func NewSimEvaluator(benchmark string, traceLen int) (*SimEvaluator, error) {
+	tr, err := trace.Cached(benchmark, traceLen)
+	if err != nil {
+		return nil, err
+	}
+	return &SimEvaluator{
+		Benchmark: benchmark,
+		TraceLen:  traceLen,
+		tr:        tr,
+		state:     &simCache{cache: map[string]sim.Result{}},
+	}, nil
+}
+
+// WithMetric returns a view of the evaluator reporting a different
+// metric. The simulation cache is shared with the receiver.
+func (e *SimEvaluator) WithMetric(m Metric) *SimEvaluator {
+	return &SimEvaluator{
+		Benchmark: e.Benchmark, TraceLen: e.TraceLen, Metric: m,
+		tr: e.tr, state: e.state,
+	}
+}
+
+// result returns the memoized full simulation result for cfg.
+func (e *SimEvaluator) result(cfg design.Config) sim.Result {
+	key := cfg.Key()
+	st := e.state
+	st.mu.Lock()
+	if v, ok := st.cache[key]; ok {
+		st.mu.Unlock()
+		return v
+	}
+	st.mu.Unlock()
+
+	sc := sim.FromDesign(cfg)
+	sc.WarmupInsts = e.TraceLen / 5 // discard cold-start statistics
+	res := sim.Run(sc, e.tr)
+
+	st.mu.Lock()
+	st.cache[key] = res
+	st.sims++
+	st.mu.Unlock()
+	return res
+}
+
+// Eval returns the configured metric for cfg, running the simulator on
+// a cache miss.
+func (e *SimEvaluator) Eval(cfg design.Config) float64 {
+	res := e.result(cfg)
+	sc := sim.FromDesign(cfg)
+	switch e.Metric {
+	case MetricEPI:
+		return res.EPI(sc) / 1000 // nJ
+	case MetricEDP:
+		return res.EDP(sc) / 1000 // nJ·cycles
+	case MetricPower:
+		return res.AvgPowerW(sc, 2.0)
+	default:
+		return res.CPI()
+	}
+}
+
+// Simulations reports how many distinct simulations have been run — the
+// "simulation cost" the paper optimizes.
+func (e *SimEvaluator) Simulations() int {
+	e.state.mu.Lock()
+	defer e.state.mu.Unlock()
+	return e.state.sims
+}
+
+// Detail returns the full simulator statistics at cfg (memoized; used
+// by diagnostics such as the response-surface study of Figure 1).
+func (e *SimEvaluator) Detail(cfg design.Config) sim.Result {
+	return e.result(cfg)
+}
+
+// FuncEvaluator adapts a plain function, for tests and synthetic
+// experiments.
+type FuncEvaluator func(design.Config) float64
+
+// Eval invokes the function.
+func (f FuncEvaluator) Eval(cfg design.Config) float64 { return f(cfg) }
+
+var _ Evaluator = (*SimEvaluator)(nil)
+var _ Evaluator = FuncEvaluator(nil)
+
+func (e *SimEvaluator) String() string {
+	return fmt.Sprintf("sim(%s, %d insts)", e.Benchmark, e.TraceLen)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"predperf/internal/design"
+	"predperf/internal/rbf"
+)
+
+// modelFile is the on-disk representation of a fitted model. Only what
+// prediction needs is stored: the design space, the basis functions, and
+// the training diagnostics; the regression tree is not persisted.
+type modelFile struct {
+	Format     int             `json:"format"`
+	SampleSize int             `json:"sample_size"`
+	PMin       int             `json:"p_min"`
+	Alpha      float64         `json:"alpha"`
+	AICc       float64         `json:"aicc"`
+	Space      []design.Param  `json:"space"`
+	Centers    [][]float64     `json:"centers"`
+	Radii      [][]float64     `json:"radii"`
+	Weights    []float64       `json:"weights"`
+	Configs    []design.Config `json:"configs,omitempty"`
+	Responses  []float64       `json:"responses,omitempty"`
+}
+
+const modelFormat = 1
+
+// Save serializes the model as JSON. The saved model reloads with
+// LoadModel and predicts identically; the regression tree and raw
+// training points are not preserved.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Format:     modelFormat,
+		SampleSize: m.SampleSize,
+		PMin:       m.Fit.PMin,
+		Alpha:      m.Fit.Alpha,
+		AICc:       m.Fit.AICc,
+		Space:      m.Space.Params,
+		Weights:    m.Fit.Net.Weights,
+		Configs:    m.Configs,
+		Responses:  m.Responses,
+	}
+	for _, b := range m.Fit.Net.Bases {
+		f.Centers = append(f.Centers, b.Center)
+		f.Radii = append(f.Radii, b.Radius)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// LoadModel reads a model saved with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if f.Format != modelFormat {
+		return nil, fmt.Errorf("core: unsupported model format %d", f.Format)
+	}
+	if len(f.Centers) != len(f.Radii) || len(f.Centers) != len(f.Weights) {
+		return nil, fmt.Errorf("core: malformed model: %d centers, %d radii, %d weights",
+			len(f.Centers), len(f.Radii), len(f.Weights))
+	}
+	net := &rbf.Network{Weights: f.Weights}
+	for i := range f.Centers {
+		if len(f.Centers[i]) != len(f.Space) || len(f.Radii[i]) != len(f.Space) {
+			return nil, fmt.Errorf("core: malformed model: basis %d has wrong dimensionality", i)
+		}
+		net.Bases = append(net.Bases, rbf.Basis{Center: f.Centers[i], Radius: f.Radii[i]})
+	}
+	m := &Model{
+		Space:      &design.Space{Params: f.Space},
+		SampleSize: f.SampleSize,
+		Fit: &rbf.FitResult{
+			Net:   net,
+			PMin:  f.PMin,
+			Alpha: f.Alpha,
+			AICc:  f.AICc,
+		},
+		Configs:   f.Configs,
+		Responses: f.Responses,
+	}
+	return m, nil
+}

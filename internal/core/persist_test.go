@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predperf/internal/design"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	m, err := BuildRBFModel(ev, 40, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SampleSize != m.SampleSize {
+		t.Fatalf("sample size %d, want %d", loaded.SampleSize, m.SampleSize)
+	}
+	if loaded.Fit.PMin != m.Fit.PMin || loaded.Fit.Alpha != m.Fit.Alpha {
+		t.Fatalf("method params (%d,%v), want (%d,%v)",
+			loaded.Fit.PMin, loaded.Fit.Alpha, m.Fit.PMin, m.Fit.Alpha)
+	}
+	// Predictions must be bit-identical.
+	rng := rand.New(rand.NewSource(7))
+	space := design.PaperSpace()
+	for i := 0; i < 50; i++ {
+		pt := make(design.Point, space.N())
+		for k := range pt {
+			pt[k] = rng.Float64()
+		}
+		if loaded.Predict(pt) != m.Predict(pt) {
+			t.Fatalf("prediction diverged at %v", pt)
+		}
+		cfg := space.Decode(pt, 40)
+		if loaded.PredictConfig(cfg) != m.PredictConfig(cfg) {
+			t.Fatal("PredictConfig diverged")
+		}
+	}
+	if len(loaded.Configs) != len(m.Configs) || len(loaded.Responses) != len(m.Responses) {
+		t.Fatal("training record not preserved")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for non-JSON input")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format": 99}`)); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format":1,"centers":[[0.5]],"radii":[],"weights":[]}`)); err == nil {
+		t.Fatal("expected error for mismatched arrays")
+	}
+}
+
+func TestLoadedModelValidates(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	m, err := BuildRBFModel(ev, 40, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTestSet(ev, nil, 20, 3)
+	a, b := m.Validate(ts), loaded.Validate(ts)
+	if a != b {
+		t.Fatalf("validation differs: %+v vs %+v", a, b)
+	}
+}

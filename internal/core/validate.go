@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"predperf/internal/design"
+	"predperf/internal/rbf"
+	"predperf/internal/sample"
+)
+
+// ErrorStats are the paper's model-accuracy metrics (Table 3, Figure 4):
+// mean, maximum, and standard deviation of the absolute percentage error
+// in predicted CPI over a test set.
+type ErrorStats struct {
+	Mean, Max, Std float64
+	N              int
+}
+
+// errorStats computes the metrics from paired predictions and truths.
+func errorStats(pred, actual []float64) ErrorStats {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return ErrorStats{}
+	}
+	errs := make([]float64, len(pred))
+	var sum float64
+	s := ErrorStats{N: len(pred)}
+	for i := range pred {
+		e := 100 * math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		errs[i] = e
+		sum += e
+		if e > s.Max {
+			s.Max = e
+		}
+	}
+	s.Mean = sum / float64(len(errs))
+	var v float64
+	for _, e := range errs {
+		d := e - s.Mean
+		v += d * d
+	}
+	s.Std = math.Sqrt(v / float64(len(errs)))
+	return s
+}
+
+// TestSet is an independently generated set of design points with their
+// simulated responses, used to estimate predictive accuracy (§3: fifty
+// random points from the restricted Table 2 space).
+type TestSet struct {
+	Configs []design.Config
+	Actual  []float64
+}
+
+// NewTestSet draws n uniform random points from testSpace (Table 2 by
+// default when nil), simulates them, and returns the paired data. The
+// generated points are independent of any training sample.
+func NewTestSet(ev Evaluator, testSpace *design.Space, n int, seed int64) *TestSet {
+	if testSpace == nil {
+		testSpace = design.TestSpace()
+	}
+	if seed == 0 {
+		seed = 99
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := sample.UniformRandom(testSpace, n, rng)
+	ts := &TestSet{
+		Configs: make([]design.Config, n),
+		Actual:  make([]float64, n),
+	}
+	for i, p := range pts {
+		cfg := testSpace.Decode(p, n)
+		ts.Configs[i] = cfg
+		ts.Actual[i] = ev.Eval(cfg)
+	}
+	return ts
+}
+
+// predictor is any model that can score a concrete configuration once
+// its coordinates are encoded into a model space.
+type predictor interface {
+	Predict(pt []float64) float64
+}
+
+func validateOn(m predictor, space *design.Space, ts *TestSet) ErrorStats {
+	pred := make([]float64, len(ts.Configs))
+	for i, cfg := range ts.Configs {
+		pred[i] = m.Predict(space.Encode(cfg))
+	}
+	return errorStats(pred, ts.Actual)
+}
+
+// Validate estimates the RBF model's accuracy on a test set.
+func (m *Model) Validate(ts *TestSet) ErrorStats { return validateOn(m.Fit, m.Space, ts) }
+
+// Validate estimates the linear baseline's accuracy on a test set.
+func (m *LinearModel) Validate(ts *TestSet) ErrorStats { return validateOn(m.Fit, m.Space, ts) }
+
+// BuildResult pairs a model with its measured accuracy at one step of
+// the iterative procedure.
+type BuildResult struct {
+	Model *Model
+	Stats ErrorStats
+}
+
+// BuildToAccuracy is step 6 of the procedure: build models at increasing
+// sample sizes until the mean test error drops to targetMeanPct (or the
+// sizes are exhausted), returning every intermediate result. A non-nil
+// error is returned only if no size produced a model at all.
+func BuildToAccuracy(ev Evaluator, sizes []int, targetMeanPct float64, ts *TestSet, opt Options) ([]BuildResult, error) {
+	var out []BuildResult
+	var lastErr error
+	for _, size := range sizes {
+		m, err := BuildRBFModel(ev, size, opt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st := m.Validate(ts)
+		out = append(out, BuildResult{Model: m, Stats: st})
+		if st.Mean <= targetMeanPct {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, lastErr
+	}
+	return out, nil
+}
+
+// CrossValidate estimates the model's generalization error without any
+// additional simulation: k-fold cross-validation over the training
+// sample, refitting with the model's winning method parameters
+// (p_min, α) on each fold. It is the error signal the adaptive-sampling
+// extension uses, exposed as a model diagnostic.
+func (m *Model) CrossValidate(folds int) ErrorStats {
+	n := len(m.Points)
+	if folds < 2 {
+		folds = 5
+	}
+	if folds > n {
+		folds = n
+	}
+	opt := rbf.Options{PMinGrid: []int{m.Fit.PMin}, AlphaGrid: []float64{m.Fit.Alpha}}
+	var pred, actual []float64
+	for f := 0; f < folds; f++ {
+		var trX [][]float64
+		var trY []float64
+		var hold []int
+		for i := 0; i < n; i++ {
+			if i%folds == f {
+				hold = append(hold, i)
+			} else {
+				trX = append(trX, m.Points[i])
+				trY = append(trY, m.Responses[i])
+			}
+		}
+		fit, err := rbf.Fit(trX, trY, opt)
+		if err != nil {
+			continue
+		}
+		for _, i := range hold {
+			pred = append(pred, fit.Predict(m.Points[i]))
+			actual = append(actual, m.Responses[i])
+		}
+	}
+	return errorStats(pred, actual)
+}

@@ -1,0 +1,268 @@
+package design
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSpaceShape(t *testing.T) {
+	s := PaperSpace()
+	if s.N() != 9 {
+		t.Fatalf("paper space has %d params, want 9", s.N())
+	}
+	for _, name := range []string{PipeDepth, ROBSize, IQSize, LSQSize, L2Size, L2Lat, IL1Size, DL1Size, DL1Lat} {
+		if s.Index(name) < 0 {
+			t.Fatalf("missing parameter %s", name)
+		}
+	}
+}
+
+func TestParamEndpoints(t *testing.T) {
+	s := PaperSpace()
+	// Coordinate 0 is the Low (hostile) setting, 1 the High setting.
+	pd := s.Params[s.Index(PipeDepth)]
+	if got := pd.Value(0, 100); got != 24 {
+		t.Fatalf("pipe_depth at t=0 = %v, want 24", got)
+	}
+	if got := pd.Value(1, 100); got != 7 {
+		t.Fatalf("pipe_depth at t=1 = %v, want 7", got)
+	}
+	l2 := s.Params[s.Index(L2Size)]
+	if got := l2.Value(0, 100); got != 256 {
+		t.Fatalf("L2 at t=0 = %v, want 256", got)
+	}
+	if got := l2.Value(1, 100); got != 8192 {
+		t.Fatalf("L2 at t=1 = %v, want 8192", got)
+	}
+}
+
+func TestLogLevelsArePowersOfTwo(t *testing.T) {
+	s := PaperSpace()
+	l2 := s.Params[s.Index(L2Size)]
+	vals := l2.Values(100)
+	want := []float64{256, 512, 1024, 2048, 4096, 8192}
+	if len(vals) != len(want) {
+		t.Fatalf("L2 levels = %v", vals)
+	}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 0.5 {
+			t.Fatalf("L2 level %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	il1 := s.Params[s.Index(IL1Size)]
+	got := il1.Values(100)
+	wantIL1 := []float64{8, 16, 32, 64}
+	for i := range wantIL1 {
+		if math.Abs(got[i]-wantIL1[i]) > 0.5 {
+			t.Fatalf("il1 levels = %v, want %v", got, wantIL1)
+		}
+	}
+}
+
+func TestSampleSizeLevels(t *testing.T) {
+	s := PaperSpace()
+	rob := s.Params[s.Index(ROBSize)]
+	if rob.LevelCount(90) != 90 {
+		t.Fatalf("ROB level count at sample 90 = %d", rob.LevelCount(90))
+	}
+	if rob.LevelCount(0) != 2 {
+		t.Fatalf("ROB level count floor = %d", rob.LevelCount(0))
+	}
+	fixed := s.Params[s.Index(DL1Lat)]
+	if fixed.LevelCount(90) != 4 {
+		t.Fatalf("dl1_lat levels = %d, want 4", fixed.LevelCount(90))
+	}
+}
+
+func TestQuantizeSnapsToLevels(t *testing.T) {
+	p := Param{Name: "x", Low: 0, High: 3, Levels: 4, Transform: Linear}
+	// 4 levels → normalized levels {0, 1/3, 2/3, 1}.
+	cases := map[float64]float64{0.0: 0, 0.1: 0, 0.2: 1. / 3, 0.49: 1. / 3, 0.51: 2. / 3, 0.99: 1, 1.0: 1}
+	for in, want := range cases {
+		if got := p.Quantize(in, 50); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Quantize(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestDecodeDerivesIQLSQFromROB(t *testing.T) {
+	s := PaperSpace()
+	pt := make(Point, s.N())
+	for i := range pt {
+		pt[i] = 0.5
+	}
+	pt[s.Index(ROBSize)] = 1.0 // 128 entries
+	pt[s.Index(IQSize)] = 0.0  // 0.25 fraction
+	pt[s.Index(LSQSize)] = 1.0 // 0.75 fraction
+	cfg := s.Decode(pt, 100)
+	if cfg.ROBSize != 128 {
+		t.Fatalf("ROB = %d, want 128", cfg.ROBSize)
+	}
+	if cfg.IQSize != 32 {
+		t.Fatalf("IQ = %d, want 32 (0.25*128)", cfg.IQSize)
+	}
+	if cfg.LSQSize != 96 {
+		t.Fatalf("LSQ = %d, want 96 (0.75*128)", cfg.LSQSize)
+	}
+}
+
+func TestDecodeBoundsAndIntegrality(t *testing.T) {
+	s := PaperSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := make(Point, s.N())
+		for i := range pt {
+			pt[i] = rng.Float64()
+		}
+		cfg := s.Decode(pt, 90)
+		if cfg.PipeDepth < 7 || cfg.PipeDepth > 24 {
+			return false
+		}
+		if cfg.ROBSize < 24 || cfg.ROBSize > 128 {
+			return false
+		}
+		if cfg.IQSize < 2 || cfg.IQSize > cfg.ROBSize {
+			return false
+		}
+		if cfg.LSQSize < 2 || cfg.LSQSize > cfg.ROBSize {
+			return false
+		}
+		switch cfg.L2SizeKB {
+		case 256, 512, 1024, 2048, 4096, 8192:
+		default:
+			return false
+		}
+		switch cfg.IL1SizeKB {
+		case 8, 16, 32, 64:
+		default:
+			return false
+		}
+		switch cfg.DL1SizeKB {
+		case 8, 16, 32, 64:
+		default:
+			return false
+		}
+		if cfg.L2Lat < 5 || cfg.L2Lat > 20 {
+			return false
+		}
+		if cfg.DL1Lat < 1 || cfg.DL1Lat > 4 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	s := PaperSpace()
+	for _, p := range s.Params {
+		for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := p.Natural(tt)
+			back := p.Normalize(v)
+			if math.Abs(back-tt) > 1e-9 {
+				t.Fatalf("%s: Normalize(natural(%v)) = %v", p.Name, tt, back)
+			}
+		}
+	}
+}
+
+func TestEmbedTestSpaceIntoPaperSpace(t *testing.T) {
+	sub, enc := TestSpace(), PaperSpace()
+	// The center of the restricted space must land strictly inside [0,1]
+	// in the full space, and endpoints must stay in range.
+	pt := make(Point, sub.N())
+	for i := range pt {
+		pt[i] = 0.5
+	}
+	em := sub.Embed(pt, enc)
+	for i, v := range em {
+		if v < 0 || v > 1 {
+			t.Fatalf("embedded coord %d = %v out of range", i, v)
+		}
+	}
+	// pipe_depth: sub range 22..9 inside 24..7 → embedded endpoints interior.
+	pt0 := make(Point, sub.N())
+	em0 := sub.Embed(pt0, enc)
+	i := enc.Index(PipeDepth)
+	if em0[i] <= 0 || em0[i] >= 1 {
+		t.Fatalf("embedded pipe_depth low endpoint = %v, want interior", em0[i])
+	}
+}
+
+func TestSnapPow2(t *testing.T) {
+	// Ties break to the geometrically closer power (log scale): 3 → 4
+	// since log2(3) = 1.585 is nearer 2 than 1.
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 4, 6: 8, 255: 256, 256: 256, 300: 256, 400: 512, 8192: 8192}
+	for in, want := range cases {
+		if got := snapPow2(in); got != want {
+			t.Fatalf("snapPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConfigKeyDistinguishes(t *testing.T) {
+	s := PaperSpace()
+	a := make(Point, s.N())
+	b := make(Point, s.N())
+	for i := range a {
+		a[i], b[i] = 0.2, 0.8
+	}
+	ka := s.Decode(a, 100).Key()
+	kb := s.Decode(b, 100).Key()
+	if ka == kb {
+		t.Fatal("distinct configs share a key")
+	}
+	if ka != s.Decode(a, 100).Key() {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := PaperSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := make(Point, s.N())
+		for i := range pt {
+			pt[i] = rng.Float64()
+		}
+		cfg := s.Decode(pt, 90)
+		// Encoding the decoded config and decoding again must be a fixed
+		// point: the config describes itself.
+		cfg2 := s.Decode(s.Encode(cfg), 90)
+		return cfg2 == cfg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	s := PaperSpace()
+	if out := s.String(); len(out) == 0 || s.Params[0].Transform.String() != "linear" {
+		t.Fatal("space rendering broken")
+	}
+	if Log.String() != "log" {
+		t.Fatal("transform string")
+	}
+	cfg := s.Decode(make(Point, s.N()), 50)
+	if len(cfg.String()) == 0 || len(cfg.Key()) == 0 {
+		t.Fatal("config rendering broken")
+	}
+}
+
+func TestIndexMissing(t *testing.T) {
+	s := PaperSpace()
+	if s.Index("bogus") != -1 {
+		t.Fatal("Index of missing parameter")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.5) != 0.5 {
+		t.Fatal("Clamp01 wrong")
+	}
+}

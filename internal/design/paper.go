@@ -1,0 +1,174 @@
+package design
+
+import "fmt"
+
+// Parameter names of the paper's 9-dimensional design space (Table 1).
+const (
+	PipeDepth = "pipe_depth"
+	ROBSize   = "ROB_size"
+	IQSize    = "IQ_size"  // fraction of ROB_size
+	LSQSize   = "LSQ_size" // fraction of ROB_size
+	L2Size    = "L2_size"  // KB
+	L2Lat     = "L2_lat"
+	IL1Size   = "il1_size" // KB
+	DL1Size   = "dl1_size" // KB
+	DL1Lat    = "dl1_lat"
+)
+
+// PaperSpace returns the modeling design space of Table 1. IQ_size and
+// LSQ_size are expressed as fractions of ROB_size, as in the paper; the
+// fraction itself is the modeled parameter.
+func PaperSpace() *Space {
+	return &Space{Params: []Param{
+		{Name: PipeDepth, Low: 24, High: 7, Levels: 18, Transform: Linear, Integer: true},
+		{Name: ROBSize, Low: 24, High: 128, Levels: SampleSizeLevels, Transform: Linear, Integer: true},
+		{Name: IQSize, Low: 0.25, High: 0.75, Levels: SampleSizeLevels, Transform: Linear},
+		{Name: LSQSize, Low: 0.25, High: 0.75, Levels: SampleSizeLevels, Transform: Linear},
+		{Name: L2Size, Low: 256, High: 8192, Levels: 6, Transform: Log, Integer: true},
+		{Name: L2Lat, Low: 20, High: 5, Levels: 16, Transform: Linear, Integer: true},
+		{Name: IL1Size, Low: 8, High: 64, Levels: 4, Transform: Log, Integer: true},
+		{Name: DL1Size, Low: 8, High: 64, Levels: 4, Transform: Log, Integer: true},
+		{Name: DL1Lat, Low: 4, High: 1, Levels: 4, Transform: Linear, Integer: true},
+	}}
+}
+
+// TestSpace returns the restricted space of Table 2 from which the
+// independent random test points are drawn.
+func TestSpace() *Space {
+	return &Space{Params: []Param{
+		{Name: PipeDepth, Low: 22, High: 9, Levels: 14, Transform: Linear, Integer: true},
+		{Name: ROBSize, Low: 37, High: 115, Levels: SampleSizeLevels, Transform: Linear, Integer: true},
+		{Name: IQSize, Low: 0.31, High: 0.69, Levels: SampleSizeLevels, Transform: Linear},
+		{Name: LSQSize, Low: 0.31, High: 0.69, Levels: SampleSizeLevels, Transform: Linear},
+		{Name: L2Size, Low: 256, High: 8192, Levels: 6, Transform: Log, Integer: true},
+		{Name: L2Lat, Low: 18, High: 7, Levels: 12, Transform: Linear, Integer: true},
+		{Name: IL1Size, Low: 8, High: 64, Levels: 4, Transform: Log, Integer: true},
+		{Name: DL1Size, Low: 8, High: 64, Levels: 4, Transform: Log, Integer: true},
+		{Name: DL1Lat, Low: 4, High: 1, Levels: 4, Transform: Linear, Integer: true},
+	}}
+}
+
+// Config is a concrete processor configuration in natural units, the
+// result of decoding a normalized Point. IQ and LSQ sizes have been
+// resolved from their ROB fractions into entry counts.
+type Config struct {
+	PipeDepth int // front-end pipeline depth, stages
+	ROBSize   int // reorder buffer entries
+	IQSize    int // issue queue entries
+	LSQSize   int // load/store queue entries
+	L2SizeKB  int // unified L2 capacity, KB
+	L2Lat     int // L2 hit latency, cycles
+	IL1SizeKB int // L1 instruction cache capacity, KB
+	DL1SizeKB int // L1 data cache capacity, KB
+	DL1Lat    int // L1 data cache hit latency, cycles
+}
+
+// Key returns a canonical string identity for memoizing simulations.
+func (c Config) Key() string {
+	return fmt.Sprintf("pd%d.rob%d.iq%d.lsq%d.l2s%d.l2l%d.il1%d.dl1%d.d1l%d",
+		c.PipeDepth, c.ROBSize, c.IQSize, c.LSQSize, c.L2SizeKB, c.L2Lat, c.IL1SizeKB, c.DL1SizeKB, c.DL1Lat)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("depth=%d ROB=%d IQ=%d LSQ=%d L2=%dKB/%dcyc IL1=%dKB DL1=%dKB/%dcyc",
+		c.PipeDepth, c.ROBSize, c.IQSize, c.LSQSize, c.L2SizeKB, c.L2Lat, c.IL1SizeKB, c.DL1SizeKB, c.DL1Lat)
+}
+
+// Decode turns a normalized point from this space into a concrete
+// Config, quantizing each coordinate to the parameter's levels (with
+// sample-size-dependent level counts resolved against sampleSize) and
+// deriving IQ/LSQ entry counts from their ROB fractions.
+//
+// Decode panics if the space does not contain the nine paper parameters;
+// it is specific to the superscalar design space studied here.
+func (s *Space) Decode(pt Point, sampleSize int) Config {
+	if len(pt) != s.N() {
+		panic(fmt.Sprintf("design: point has %d dims, space has %d", len(pt), s.N()))
+	}
+	val := func(name string) float64 {
+		i := s.Index(name)
+		if i < 0 {
+			panic("design: space is missing parameter " + name)
+		}
+		return s.Params[i].Value(pt[i], sampleSize)
+	}
+	rob := int(val(ROBSize))
+	iq := int(val(IQSize)*float64(rob) + 0.5)
+	lsq := int(val(LSQSize)*float64(rob) + 0.5)
+	if iq < 2 {
+		iq = 2
+	}
+	if lsq < 2 {
+		lsq = 2
+	}
+	return Config{
+		PipeDepth: int(val(PipeDepth)),
+		ROBSize:   rob,
+		IQSize:    iq,
+		LSQSize:   lsq,
+		L2SizeKB:  snapPow2(int(val(L2Size))),
+		L2Lat:     int(val(L2Lat)),
+		IL1SizeKB: snapPow2(int(val(IL1Size))),
+		DL1SizeKB: snapPow2(int(val(DL1Size))),
+		DL1Lat:    int(val(DL1Lat)),
+	}
+}
+
+// snapPow2 rounds a positive value to the nearest power of two, so that
+// log-spaced cache sizes land on implementable capacities.
+func snapPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	// p <= v < 2p: pick the geometrically closer endpoint.
+	if float64(v)*float64(v) >= float64(p)*float64(2*p) {
+		return 2 * p
+	}
+	return p
+}
+
+// Encode normalizes a concrete configuration into this space's unit-cube
+// coordinates. It is the inverse of Decode up to quantization, and is
+// the canonical model input: models are trained and queried on
+// Encode(config) so that the coordinates always describe the machine
+// that was actually simulated.
+func (s *Space) Encode(c Config) Point {
+	pt := make(Point, s.N())
+	set := func(name string, v float64) {
+		i := s.Index(name)
+		if i < 0 {
+			panic("design: space is missing parameter " + name)
+		}
+		pt[i] = s.Params[i].Normalize(v)
+	}
+	set(PipeDepth, float64(c.PipeDepth))
+	set(ROBSize, float64(c.ROBSize))
+	set(IQSize, float64(c.IQSize)/float64(c.ROBSize))
+	set(LSQSize, float64(c.LSQSize)/float64(c.ROBSize))
+	set(L2Size, float64(c.L2SizeKB))
+	set(L2Lat, float64(c.L2Lat))
+	set(IL1Size, float64(c.IL1SizeKB))
+	set(DL1Size, float64(c.DL1SizeKB))
+	set(DL1Lat, float64(c.DL1Lat))
+	return pt
+}
+
+// Embed maps a point expressed in this (sub)space into the coordinates
+// of the enclosing space enc: each coordinate is decoded to natural
+// units here and re-normalized against enc's ranges. It is used to
+// express Table 2 test points in the Table 1 modeling space.
+func (s *Space) Embed(pt Point, enc *Space) Point {
+	out := make(Point, enc.N())
+	for i, p := range s.Params {
+		j := enc.Index(p.Name)
+		if j < 0 {
+			panic("design: enclosing space is missing parameter " + p.Name)
+		}
+		out[j] = enc.Params[j].Normalize(p.Natural(pt[i]))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package design specifies microarchitectural design spaces: the set of
+// parameters under study, their ranges, their discrete level counts, and
+// the input transformation (linear or logarithmic) applied before
+// modeling, exactly as in Table 1 of the paper.
+//
+// A design point has two representations:
+//
+//   - a normalized Point in the unit hypercube [0,1]^n used by sampling
+//     and by the regression models (0 maps to a parameter's Low setting,
+//     1 to its High setting, with log-scaled parameters interpolated
+//     geometrically), and
+//   - a concrete Config of natural parameter values handed to the
+//     simulator, produced by Decode after quantizing each coordinate to
+//     the parameter's discrete levels.
+//
+// Note that, as in the paper's Table 1, the Low setting of a parameter is
+// its performance-hostile end and may be numerically larger than the High
+// setting (e.g. pipeline depth runs 24 → 7, L2 latency 20 → 5).
+package design
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transform selects the input transformation applied to a parameter
+// before modeling (last column of Table 1).
+type Transform int
+
+const (
+	// Linear interpolates natural values linearly between Low and High.
+	Linear Transform = iota
+	// Log interpolates geometrically, for parameters like cache sizes
+	// whose levels are spaced by powers of two.
+	Log
+)
+
+func (t Transform) String() string {
+	if t == Log {
+		return "log"
+	}
+	return "linear"
+}
+
+// SampleSizeLevels marks a parameter whose number of levels tracks the
+// sample size ("S" entries in Table 1).
+const SampleSizeLevels = 0
+
+// Param describes one microarchitectural parameter.
+type Param struct {
+	Name string
+	// Low and High are the natural-unit endpoints of the range. Low is
+	// the performance-hostile end; it may exceed High numerically.
+	Low, High float64
+	// Levels is the number of discrete settings between Low and High
+	// inclusive, or SampleSizeLevels when the level count follows the
+	// sample size.
+	Levels int
+	// Transform is the modeling-space transformation.
+	Transform Transform
+	// Integer forces decoded natural values to whole numbers.
+	Integer bool
+}
+
+// Space is an ordered set of parameters.
+type Space struct {
+	Params []Param
+}
+
+// N returns the dimensionality of the space.
+func (s *Space) N() int { return len(s.Params) }
+
+// Index returns the position of the named parameter, or -1.
+func (s *Space) Index(name string) int {
+	for i, p := range s.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Point is a normalized design point in [0,1]^n.
+type Point []float64
+
+// Clamp01 limits v to the unit interval.
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Natural maps a normalized coordinate t ∈ [0,1] to the parameter's
+// natural units without quantization.
+func (p *Param) Natural(t float64) float64 {
+	t = Clamp01(t)
+	switch p.Transform {
+	case Log:
+		return p.Low * math.Pow(p.High/p.Low, t)
+	default:
+		return p.Low + t*(p.High-p.Low)
+	}
+}
+
+// Normalize maps a natural value back to [0,1]. It is the inverse of
+// natural for in-range values.
+func (p *Param) Normalize(v float64) float64 {
+	switch p.Transform {
+	case Log:
+		return Clamp01(math.Log(v/p.Low) / math.Log(p.High/p.Low))
+	default:
+		return Clamp01((v - p.Low) / (p.High - p.Low))
+	}
+}
+
+// LevelCount resolves the parameter's level count for a given sample
+// size: fixed-level parameters return their own count, sample-size-
+// dependent parameters return sampleSize.
+func (p *Param) LevelCount(sampleSize int) int {
+	if p.Levels == SampleSizeLevels {
+		if sampleSize < 2 {
+			return 2
+		}
+		return sampleSize
+	}
+	return p.Levels
+}
+
+// Quantize snaps a normalized coordinate to the nearest of the
+// parameter's levels (for a given sample size) and returns the snapped
+// normalized coordinate.
+func (p *Param) Quantize(t float64, sampleSize int) float64 {
+	L := p.LevelCount(sampleSize)
+	if L <= 1 {
+		return 0.5
+	}
+	t = Clamp01(t)
+	k := math.Round(t * float64(L-1))
+	return k / float64(L-1)
+}
+
+// Value decodes a normalized coordinate into natural units, quantizing
+// to the parameter's levels and rounding integer parameters.
+func (p *Param) Value(t float64, sampleSize int) float64 {
+	v := p.Natural(p.Quantize(t, sampleSize))
+	if p.Integer {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// Values lists all natural-unit levels of the parameter for a given
+// sample size, ordered from the Low setting to the High setting.
+func (p *Param) Values(sampleSize int) []float64 {
+	L := p.LevelCount(sampleSize)
+	out := make([]float64, L)
+	for k := 0; k < L; k++ {
+		t := 0.5
+		if L > 1 {
+			t = float64(k) / float64(L-1)
+		}
+		v := p.Natural(t)
+		if p.Integer {
+			v = math.Round(v)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (s *Space) String() string {
+	out := ""
+	for _, p := range s.Params {
+		lv := "S"
+		if p.Levels != SampleSizeLevels {
+			lv = fmt.Sprintf("%d", p.Levels)
+		}
+		out += fmt.Sprintf("%-12s %12g %12g  levels=%-3s %s\n", p.Name, p.Low, p.High, lv, p.Transform)
+	}
+	return out
+}

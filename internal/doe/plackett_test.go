@@ -1,0 +1,121 @@
+package doe
+
+import (
+	"math"
+	"testing"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+)
+
+func TestPB12Orthogonality(t *testing.T) {
+	m := PlackettBurman12()
+	if len(m) != 12 || len(m[0]) != 11 {
+		t.Fatalf("design is %dx%d, want 12x11", len(m), len(m[0]))
+	}
+	// Every column balanced: six +1 and six −1.
+	for c := 0; c < 11; c++ {
+		sum := 0
+		for r := 0; r < 12; r++ {
+			if v := m[r][c]; v != 1 && v != -1 {
+				t.Fatalf("entry (%d,%d) = %d", r, c, v)
+			}
+			sum += m[r][c]
+		}
+		if sum != 0 {
+			t.Fatalf("column %d unbalanced: sum %d", c, sum)
+		}
+	}
+	// Pairwise orthogonal columns: dot product zero.
+	for a := 0; a < 11; a++ {
+		for b := a + 1; b < 11; b++ {
+			dot := 0
+			for r := 0; r < 12; r++ {
+				dot += m[r][a] * m[r][b]
+			}
+			if dot != 0 {
+				t.Fatalf("columns %d,%d not orthogonal (dot %d)", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestFoldoverMirrors(t *testing.T) {
+	m := Foldover(PlackettBurman12())
+	if len(m) != 24 {
+		t.Fatalf("foldover has %d runs", len(m))
+	}
+	for r := 0; r < 12; r++ {
+		for c := 0; c < 11; c++ {
+			if m[r][c] != -m[r+12][c] {
+				t.Fatalf("run %d not mirrored at column %d", r, c)
+			}
+		}
+	}
+}
+
+func TestScreenRecoversDominantFactor(t *testing.T) {
+	// Response dominated by L2 latency; screening must rank it first.
+	space := design.PaperSpace()
+	iLat := space.Index(design.L2Lat)
+	ev := core.FuncEvaluator(func(c design.Config) float64 {
+		return 1 + 0.5*float64(c.L2Lat) + 0.01*float64(c.PipeDepth)
+	})
+	sc, err := Screen(ev, space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Runs != 24 {
+		t.Fatalf("runs = %d, want 24", sc.Runs)
+	}
+	if sc.Effects[0].Param != iLat {
+		t.Fatalf("top effect %s, want L2_lat", sc.Effects[0].Name)
+	}
+	// The favorable endpoint (latency 5) lowers CPI, so the effect is
+	// negative: High − Low < 0.
+	if sc.Effects[0].Effect >= 0 {
+		t.Fatalf("L2_lat effect %v should be negative", sc.Effects[0].Effect)
+	}
+}
+
+func TestScreenCannotSeeInteractionOnlyFactors(t *testing.T) {
+	// The §5 criticism: a factor that acts *only* through an interaction
+	// whose partner sits at a fixed level contributes no main effect —
+	// and a pure XOR-style interaction is invisible to main-effect
+	// screening entirely.
+	space := design.PaperSpace()
+	i1 := space.Index(design.IL1Size)
+	i2 := space.Index(design.DL1Size)
+	ev := core.FuncEvaluator(func(c design.Config) float64 {
+		// Pure interaction: response depends on whether il1 and dl1 are
+		// at the same extreme, not on either alone.
+		a := 0.0
+		if c.IL1SizeKB >= 32 {
+			a = 1
+		}
+		b := 0.0
+		if c.DL1SizeKB >= 32 {
+			b = 1
+		}
+		return 2 + math.Abs(a-b)
+	})
+	sc, err := Screen(ev, space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sc.Effects {
+		if (e.Param == i1 || e.Param == i2) && math.Abs(e.Effect) > 1e-9 {
+			t.Fatalf("pure-interaction factor %s shows a main effect %v", e.Name, e.Effect)
+		}
+	}
+}
+
+func TestScreenTooManyFactors(t *testing.T) {
+	big := &design.Space{}
+	for i := 0; i < 12; i++ {
+		big.Params = append(big.Params, design.Param{Name: "p", Low: 0, High: 1, Levels: 2})
+	}
+	if _, err := Screen(nil, big, false); err == nil {
+		t.Fatal("expected error for >11 factors")
+	}
+}

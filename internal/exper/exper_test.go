@@ -1,0 +1,338 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickSuite runs every experiment driver end to end at quick scale
+// and checks the paper's qualitative claims hold on the regenerated
+// results.
+func TestQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	r := NewRunner(QuickScale())
+
+	t1 := RunTable1()
+	if !strings.Contains(t1.String(), "pipe_depth") {
+		t.Fatal("Table 1 rendering missing parameters")
+	}
+
+	f2 := RunFigure2(r)
+	// Discrepancy must decrease with sample size (coverage improves).
+	if f2.Discrepancy[len(f2.Discrepancy)-1] >= f2.Discrepancy[0] {
+		t.Fatalf("discrepancy did not fall: %v", f2.Discrepancy)
+	}
+
+	t3, err := RunTable3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != len(r.Scale.Benchmarks) {
+		t.Fatalf("Table 3 has %d rows", len(t3.Rows))
+	}
+	for _, row := range t3.Rows {
+		if row.Mean <= 0 || row.Mean > 50 {
+			t.Fatalf("%s: implausible mean error %v%%", row.Benchmark, row.Mean)
+		}
+		if row.Max < row.Mean {
+			t.Fatalf("%s: max %v < mean %v", row.Benchmark, row.Max, row.Mean)
+		}
+		// §4: selected centers stay well below the sample size.
+		if row.Centers >= t3.SampleSize {
+			t.Fatalf("%s: %d centers for %d samples", row.Benchmark, row.Centers, t3.SampleSize)
+		}
+	}
+
+	t4, err := RunTable4(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != len(r.Scale.SampleSizes) {
+		t.Fatalf("Table 4 has %d rows", len(t4.Rows))
+	}
+	// Centers grow (weakly) with sample size, as in the paper's Table 4.
+	first, last := t4.Rows[0], t4.Rows[len(t4.Rows)-1]
+	if last.Centers < first.Centers {
+		t.Fatalf("centers shrank with sample size: %d → %d", first.Centers, last.Centers)
+	}
+
+	t5, err := RunTable5(r, "mcf", "vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Splits["mcf"]) == 0 || len(t5.Splits["vortex"]) == 0 {
+		t.Fatal("Table 5 missing splits")
+	}
+	if t5.Splits["mcf"][0].Depth != 1 {
+		t.Fatalf("first mcf split at depth %d", t5.Splits["mcf"][0].Depth)
+	}
+
+	f4, err := RunFigure4(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := f4.Curves["mcf"]
+	// Error at the largest sample must not exceed the smallest sample's
+	// error (the paper's headline trend), with slack for noise.
+	if curve[len(curve)-1].Mean > curve[0].Mean*1.25+0.5 {
+		t.Fatalf("error did not improve with sample size: %+v", curve)
+	}
+
+	f5, err := RunFigure5(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Splits) == 0 {
+		t.Fatal("Figure 5 has no splits")
+	}
+
+	f6, err := RunFigure6(r, "vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag := f6.TrendAgreement(); ag < 0.6 {
+		t.Fatalf("trend agreement %v too low", ag)
+	}
+
+	f7, err := RunFigure7(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := f7.Curves["mcf"]
+	// The RBF model must beat the linear baseline at the largest size.
+	lastPt := pts[len(pts)-1]
+	if lastPt.RBFMean >= lastPt.LinearMean {
+		t.Fatalf("RBF %v%% not better than linear %v%% at size %d",
+			lastPt.RBFMean, lastPt.LinearMean, lastPt.SampleSize)
+	}
+
+	ab, err := RunAblations(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Full <= 0 || ab.RandomSample <= 0 || ab.AllCenters <= 0 || ab.GlobalRadius <= 0 {
+		t.Fatalf("ablation produced non-positive errors: %+v", ab)
+	}
+	if ab.FullCenters >= ab.AllCentersN {
+		t.Fatalf("selection did not reduce centers: %d vs %d", ab.FullCenters, ab.AllCentersN)
+	}
+}
+
+func TestScalesWellFormed(t *testing.T) {
+	for _, s := range []Scale{PaperScale(), QuickScale()} {
+		if s.TraceLen <= 0 || s.FullSize <= 0 || s.TestPoints <= 0 {
+			t.Fatalf("%s scale malformed: %+v", s.Name, s)
+		}
+		if len(s.SampleSizes) == 0 || len(s.Benchmarks) == 0 {
+			t.Fatalf("%s scale missing sweeps", s.Name)
+		}
+		if s.SampleSizes[len(s.SampleSizes)-1] != s.FullSize {
+			t.Fatalf("%s: FullSize %d should be the last sweep size %v", s.Name, s.FullSize, s.SampleSizes)
+		}
+	}
+}
+
+func TestRunnerCachesModels(t *testing.T) {
+	r := NewRunner(QuickScale())
+	m1, err := r.Model("equake", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Model("equake", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("runner rebuilt a cached model")
+	}
+	ev, _ := r.Evaluator("equake")
+	n := ev.Simulations()
+	if _, err := r.Model("equake", 20); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Simulations() != n {
+		t.Fatal("cached model re-simulated")
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	r := NewRunner(QuickScale())
+	f2 := RunFigure2(r)
+	for _, s := range []string{RunTable1().String(), f2.String()} {
+		if len(strings.TrimSpace(s)) == 0 {
+			t.Fatal("empty rendering")
+		}
+	}
+}
+
+func TestExtensionsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension drivers in -short mode")
+	}
+	r := NewRunner(QuickScale())
+
+	fam, err := RunFamilies(r, "equake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.RBF) != len(r.Scale.SampleSizes) {
+		t.Fatalf("families rows = %d", len(fam.RBF))
+	}
+	last := len(fam.RBF) - 1
+	if fam.RBF[last] <= 0 || fam.Linear[last] <= 0 || fam.MLP[last] <= 0 || fam.Tree[last] <= 0 {
+		t.Fatalf("non-positive family errors: %+v", fam)
+	}
+	// The bare regression tree (piecewise constant) must be the worst
+	// family at the largest size.
+	if fam.Tree[last] < fam.RBF[last] {
+		t.Fatalf("bare tree %v%% beat the RBF network %v%%", fam.Tree[last], fam.RBF[last])
+	}
+
+	ad, err := RunAdaptive(r, "equake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Rounds) < 2 {
+		t.Fatalf("adaptive made %d rounds", len(ad.Rounds))
+	}
+	if ad.AdaptiveErr <= 0 || ad.OneShotErr <= 0 {
+		t.Fatalf("non-positive errors: %+v", ad)
+	}
+	if ad.AdaptiveSims > ad.Budget {
+		t.Fatalf("adaptive used %d sims over budget %d", ad.AdaptiveSims, ad.Budget)
+	}
+
+	sg, err := RunSignificance(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range r.Scale.Benchmarks {
+		if len(sg.Ranked[bench]) != 9 {
+			t.Fatalf("%s: ranked %d parameters", bench, len(sg.Ranked[bench]))
+		}
+		// Scores sorted descending.
+		sc := sg.Scores[bench]
+		for i := 1; i < len(sc); i++ {
+			if sc[i] > sc[i-1]+1e-12 {
+				t.Fatalf("%s: scores not sorted: %v", bench, sc)
+			}
+		}
+	}
+}
+
+func TestPowerAndExtendedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("power/extended drivers in -short mode")
+	}
+	r := NewRunner(QuickScale())
+	pt, err := RunPowerTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Rows) != len(r.Scale.Benchmarks) {
+		t.Fatalf("power table rows = %d", len(pt.Rows))
+	}
+	for _, row := range pt.Rows {
+		if row.EDPMean <= 0 || row.EDPMean > 60 {
+			t.Fatalf("%s: EDP mean error %v%%", row.Benchmark, row.EDPMean)
+		}
+	}
+	ex, err := RunExtended(r, []string{"gzip", "vpr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ex.Rows {
+		if row.Mean <= 0 || row.Mean > 50 {
+			t.Fatalf("%s: mean error %v%%", row.Benchmark, row.Mean)
+		}
+	}
+}
+
+func TestValidationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation sweep in -short mode")
+	}
+	r := NewRunner(QuickScale())
+	v, err := RunValidation(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != 9 {
+		t.Fatalf("validation rows = %d, want 9", len(v.Rows))
+	}
+	// The detailed and analytical models must agree on the direction of
+	// the vast majority of parameter effects.
+	if v.Agreement < 0.75 {
+		t.Fatalf("trend agreement %.2f below 0.75:\n%s", v.Agreement, v)
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 1 grid in -short mode")
+	}
+	r := NewRunner(QuickScale())
+	f1, err := RunFigure1(r, "vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.CPI) != len(r.Scale.GridIL1) {
+		t.Fatalf("surface rows = %d", len(f1.CPI))
+	}
+	// CPI must rise with L2 latency in every row (the Figure 1 shape).
+	for i, row := range f1.CPI {
+		for j := 1; j < len(row); j++ {
+			if row[j] < row[j-1] {
+				t.Fatalf("row %d: CPI fell with L2 latency: %v", i, row)
+			}
+		}
+	}
+	// The il1 effect is largest at the highest latency: the 8KB row must
+	// sit above the 64KB row at the last column.
+	last := len(f1.L2Lat) - 1
+	if f1.CPI[0][last] <= f1.CPI[len(f1.CPI)-1][last] {
+		t.Fatalf("small il1 not slower at high latency: %v vs %v",
+			f1.CPI[0][last], f1.CPI[len(f1.CPI)-1][last])
+	}
+	if len(f1.String()) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestRelatedWorkQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("related-work drivers in -short mode")
+	}
+	r := NewRunner(QuickScale())
+
+	sc, err := RunScreening(r, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.PBRanked) != 9 || sc.Runs != 24 {
+		t.Fatalf("screening malformed: %d ranked, %d runs", len(sc.PBRanked), sc.Runs)
+	}
+	// mcf's dominant main effects are memory-system parameters in both
+	// methodologies; the top-3 sets must share at least one parameter.
+	if sc.TopOverlap < 1 {
+		t.Fatalf("PB and linear rankings share nothing:\n%s", sc)
+	}
+
+	ss, err := RunStatSim(r, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Rows) != 3 {
+		t.Fatalf("statsim rows = %d", len(ss.Rows))
+	}
+	for _, row := range ss.Rows {
+		if row.ErrPct > 60 {
+			t.Fatalf("synthetic trace off by %v%% at %s", row.ErrPct, row.Config)
+		}
+	}
+	if !ss.RankPreserved {
+		t.Fatalf("synthetic trace does not preserve configuration ordering:\n%s", ss)
+	}
+}

@@ -1,0 +1,142 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"predperf/internal/adaptive"
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/mlp"
+	"predperf/internal/rtree"
+)
+
+// Families compares model families beyond the paper's RBF-vs-linear
+// study (§6 invites "other modeling techniques"): the RBF network, the
+// linear baseline, a single-hidden-layer neural network (as in Ipek et
+// al.), and the bare regression tree, all trained on identical samples.
+type Families struct {
+	Benchmark string
+	Sizes     []int
+	// Mean % error per family, indexed like Sizes.
+	RBF, Linear, MLP, Tree []float64
+}
+
+// RunFamilies trains every family at each sample size.
+func RunFamilies(r *Runner, bench string) (*Families, error) {
+	ts, err := r.TestSet(bench)
+	if err != nil {
+		return nil, err
+	}
+	space := design.PaperSpace()
+	out := &Families{Benchmark: bench, Sizes: r.Scale.SampleSizes}
+	for _, size := range r.Scale.SampleSizes {
+		m, err := r.Model(bench, size)
+		if err != nil {
+			return nil, err
+		}
+		lm, err := r.Linear(bench, size)
+		if err != nil {
+			return nil, err
+		}
+		out.RBF = append(out.RBF, m.Validate(ts).Mean)
+		out.Linear = append(out.Linear, lm.Validate(ts).Mean)
+
+		// The neural network and bare tree share the RBF model's sample.
+		xs := make([][]float64, len(m.Points))
+		for i, p := range m.Points {
+			xs[i] = p
+		}
+		net, err := mlp.Fit(xs, m.Responses, mlp.Options{Seed: r.Scale.Seed})
+		if err != nil {
+			return nil, err
+		}
+		tree := rtree.Build(xs, m.Responses, m.Fit.PMin)
+
+		var mlpSum, treeSum float64
+		for i, cfg := range ts.Configs {
+			pt := space.Encode(cfg)
+			mlpSum += 100 * abs(net.Predict(pt)-ts.Actual[i]) / ts.Actual[i]
+			treeSum += 100 * abs(tree.Predict(pt)-ts.Actual[i]) / ts.Actual[i]
+		}
+		out.MLP = append(out.MLP, mlpSum/float64(len(ts.Configs)))
+		out.Tree = append(out.Tree, treeSum/float64(len(ts.Configs)))
+	}
+	return out, nil
+}
+
+func (f *Families) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model families on %s: mean CPI error %% by sample size\n", f.Benchmark)
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s\n", "size", "rbf", "linear", "mlp", "tree")
+	for i, size := range f.Sizes {
+		fmt.Fprintf(&b, "%-8d %8.1f %8.1f %8.1f %8.1f\n", size, f.RBF[i], f.Linear[i], f.MLP[i], f.Tree[i])
+	}
+	return b.String()
+}
+
+// Adaptive compares the §6 adaptive-sampling extension against the
+// one-shot procedure at the same simulation budget.
+type Adaptive struct {
+	Benchmark string
+	Budget    int
+	Rounds    []adaptive.Round
+	// Mean % error on the shared test set.
+	AdaptiveErr float64
+	OneShotErr  float64
+	// Simulations actually consumed by the adaptive build (≤ Budget).
+	AdaptiveSims int
+}
+
+// RunAdaptive builds both models at the same budget.
+func RunAdaptive(r *Runner, bench string) (*Adaptive, error) {
+	ev, err := r.Evaluator(bench)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := r.TestSet(bench)
+	if err != nil {
+		return nil, err
+	}
+	budget := r.Scale.SampleSizes[len(r.Scale.SampleSizes)/2] // a mid-sweep budget
+	opt := adaptive.Options{
+		InitialSize: budget / 3,
+		BatchSize:   budget / 6,
+		MaxSize:     budget,
+		RBF:         r.Scale.RBF,
+		Seed:        r.Scale.Seed,
+	}
+	before := ev.Simulations()
+	m, rounds, err := adaptive.Build(ev, opt)
+	if err != nil {
+		return nil, err
+	}
+	adSims := ev.Simulations() - before
+
+	oneShot, err := core.BuildRBFModel(ev, budget, core.Options{
+		LHSCandidates: r.Scale.LHSCandidates, RBF: r.Scale.RBF, Seed: r.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{
+		Benchmark:    bench,
+		Budget:       budget,
+		Rounds:       rounds,
+		AdaptiveErr:  m.Validate(ts).Mean,
+		OneShotErr:   oneShot.Validate(ts).Mean,
+		AdaptiveSims: adSims,
+	}, nil
+}
+
+func (a *Adaptive) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptive sampling (%s, budget %d simulations)\n", a.Benchmark, a.Budget)
+	fmt.Fprintf(&b, "  %-8s %10s %8s\n", "size", "cv-mean%", "centers")
+	for _, rd := range a.Rounds {
+		fmt.Fprintf(&b, "  %-8d %10.1f %8d\n", rd.Size, rd.CVMean, rd.Centers)
+	}
+	fmt.Fprintf(&b, "  adaptive test error : %5.2f%% (%d simulations)\n", a.AdaptiveErr, a.AdaptiveSims)
+	fmt.Fprintf(&b, "  one-shot test error : %5.2f%%\n", a.OneShotErr)
+	return b.String()
+}

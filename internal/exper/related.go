@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"predperf/internal/design"
+	"predperf/internal/doe"
+	"predperf/internal/sim"
+	"predperf/internal/trace"
+)
+
+// Screening compares the Plackett–Burman screening methodology of the
+// related work (Yi et al., ref [20]) against the linear-model
+// significance estimates on the same benchmark: both should agree on the
+// dominant main effects, while the PB design cannot see interactions —
+// the §5 criticism.
+type Screening struct {
+	Benchmark  string
+	Runs       int
+	PBRanked   []string // by |main effect|
+	PBEffects  []float64
+	LinRanked  []string // linear-model coefficient mass ranking
+	TopOverlap int      // overlap between the two top-3 sets
+}
+
+// RunScreening executes the folded-over PB design and compares the
+// ranking with the linear model's.
+func RunScreening(r *Runner, bench string) (*Screening, error) {
+	ev, err := r.Evaluator(bench)
+	if err != nil {
+		return nil, err
+	}
+	space := design.PaperSpace()
+	sc, err := doe.Screen(ev, space, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &Screening{Benchmark: bench, Runs: sc.Runs}
+	for _, e := range sc.Effects {
+		out.PBRanked = append(out.PBRanked, e.Name)
+		out.PBEffects = append(out.PBEffects, e.Effect)
+	}
+	lm, err := r.Linear(bench, r.Scale.FullSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range lm.Fit.Significance(space.N()) {
+		out.LinRanked = append(out.LinRanked, space.Params[e.Param].Name)
+	}
+	top := map[string]bool{}
+	for i := 0; i < 3 && i < len(out.PBRanked); i++ {
+		top[out.PBRanked[i]] = true
+	}
+	for i := 0; i < 3 && i < len(out.LinRanked); i++ {
+		if top[out.LinRanked[i]] {
+			out.TopOverlap++
+		}
+	}
+	return out, nil
+}
+
+func (s *Screening) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plackett–Burman screening (%s, %d foldover runs) vs linear-model significance\n",
+		s.Benchmark, s.Runs)
+	fmt.Fprintf(&b, "%-4s %-14s %10s   %-14s\n", "#", "PB ranking", "effect", "linear ranking")
+	for i := range s.PBRanked {
+		lin := ""
+		if i < len(s.LinRanked) {
+			lin = s.LinRanked[i]
+		}
+		fmt.Fprintf(&b, "%-4d %-14s %+10.3f   %-14s\n", i+1, s.PBRanked[i], s.PBEffects[i], lin)
+	}
+	fmt.Fprintf(&b, "top-3 overlap: %d of 3\n", s.TopOverlap)
+	return b.String()
+}
+
+// StatSim reproduces the statistical-simulation methodology of the
+// related work (Eeckhout et al., ref [5]): profile a full trace,
+// regenerate a much shorter synthetic trace from the measured profile,
+// and check that simulating the short trace tracks the full trace's CPI
+// across configurations.
+type StatSim struct {
+	Benchmark     string
+	FullInsts     int
+	SynthInsts    int
+	Rows          []StatSimRow
+	RankPreserved bool // synthetic CPI ordering across configs matches
+}
+
+// StatSimRow compares one configuration.
+type StatSimRow struct {
+	Config   string
+	FullCPI  float64
+	SynthCPI float64
+	ErrPct   float64
+}
+
+// RunStatSim profiles the benchmark and compares full vs synthetic
+// simulation at three spread-out configurations.
+func RunStatSim(r *Runner, bench string) (*StatSim, error) {
+	full, err := trace.Cached(bench, r.Scale.TraceLen)
+	if err != nil {
+		return nil, err
+	}
+	est := trace.EstimateProfile(bench+"-stat", full)
+	// The synthetic trace must be long enough to reach steady state
+	// (statistical simulation's savings come from replacing billions of
+	// instructions with a few tens of thousands, not from shrinking an
+	// already-short trace further).
+	synthLen := r.Scale.TraceLen / 4
+	if synthLen < 30000 {
+		synthLen = 30000
+	}
+	synth := trace.Generate(est, synthLen, 7)
+
+	out := &StatSim{Benchmark: bench, FullInsts: len(full), SynthInsts: len(synth)}
+	space := design.PaperSpace()
+	points := []float64{0.15, 0.5, 0.85}
+	var fullPrev, synthPrev float64
+	out.RankPreserved = true
+	for i, t := range points {
+		pt := make(design.Point, space.N())
+		for k := range pt {
+			pt[k] = t
+		}
+		cfg := sim.FromDesign(space.Decode(pt, 100))
+		cfg.WarmupInsts = len(full) / 5
+		fullCPI := sim.Run(cfg, full).CPI()
+		cfg.WarmupInsts = len(synth) / 5
+		synthCPI := sim.Run(cfg, synth).CPI()
+		out.Rows = append(out.Rows, StatSimRow{
+			Config:   fmt.Sprintf("t=%.2f", t),
+			FullCPI:  fullCPI,
+			SynthCPI: synthCPI,
+			ErrPct:   100 * abs(synthCPI-fullCPI) / fullCPI,
+		})
+		if i > 0 && (fullCPI-fullPrev)*(synthCPI-synthPrev) < 0 {
+			out.RankPreserved = false
+		}
+		fullPrev, synthPrev = fullCPI, synthCPI
+	}
+	return out, nil
+}
+
+func (s *StatSim) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Statistical simulation (%s): %d-inst synthetic trace from a %d-inst profile\n",
+		s.Benchmark, s.SynthInsts, s.FullInsts)
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s\n", "config", "full CPI", "synth CPI", "err%")
+	for _, row := range s.Rows {
+		fmt.Fprintf(&b, "%-10s %10.3f %10.3f %8.1f\n", row.Config, row.FullCPI, row.SynthCPI, row.ErrPct)
+	}
+	fmt.Fprintf(&b, "configuration ordering preserved: %v\n", s.RankPreserved)
+	return b.String()
+}

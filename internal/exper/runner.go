@@ -1,0 +1,135 @@
+package exper
+
+import (
+	"fmt"
+	"sync"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+)
+
+// Runner executes experiment drivers, sharing evaluators (and their
+// simulation memoization), test sets, and fitted models across the
+// tables and figures that reuse them.
+type Runner struct {
+	Scale Scale
+
+	mu     sync.Mutex
+	evs    map[string]*core.SimEvaluator
+	tests  map[string]*core.TestSet
+	models map[string]*core.Model
+	linear map[string]*core.LinearModel
+}
+
+// NewRunner prepares a runner at the given scale.
+func NewRunner(s Scale) *Runner {
+	return &Runner{
+		Scale:  s,
+		evs:    map[string]*core.SimEvaluator{},
+		tests:  map[string]*core.TestSet{},
+		models: map[string]*core.Model{},
+		linear: map[string]*core.LinearModel{},
+	}
+}
+
+// Evaluator returns the (memoizing) simulator evaluator for a benchmark.
+func (r *Runner) Evaluator(bench string) (*core.SimEvaluator, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ev, ok := r.evs[bench]; ok {
+		return ev, nil
+	}
+	ev, err := core.NewSimEvaluator(bench, r.Scale.TraceLen)
+	if err != nil {
+		return nil, err
+	}
+	r.evs[bench] = ev
+	return ev, nil
+}
+
+// TestSet returns the benchmark's independent random test set (Table 2
+// space), simulating it on first use.
+func (r *Runner) TestSet(bench string) (*core.TestSet, error) {
+	r.mu.Lock()
+	ts, ok := r.tests[bench]
+	r.mu.Unlock()
+	if ok {
+		return ts, nil
+	}
+	ev, err := r.Evaluator(bench)
+	if err != nil {
+		return nil, err
+	}
+	ts = core.NewTestSet(ev, nil, r.Scale.TestPoints, r.Scale.Seed+77)
+	r.mu.Lock()
+	r.tests[bench] = ts
+	r.mu.Unlock()
+	return ts, nil
+}
+
+func (r *Runner) opt() core.Options {
+	return core.Options{
+		LHSCandidates: r.Scale.LHSCandidates,
+		RBF:           r.Scale.RBF,
+		Seed:          r.Scale.Seed,
+	}
+}
+
+// Model builds (or returns the cached) RBF model for a benchmark at a
+// sample size.
+func (r *Runner) Model(bench string, size int) (*core.Model, error) {
+	key := fmt.Sprintf("%s/%d", bench, size)
+	r.mu.Lock()
+	m, ok := r.models[key]
+	r.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	ev, err := r.Evaluator(bench)
+	if err != nil {
+		return nil, err
+	}
+	m, err = core.BuildRBFModel(ev, size, r.opt())
+	if err != nil {
+		return nil, fmt.Errorf("exper: model %s: %w", key, err)
+	}
+	r.mu.Lock()
+	r.models[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// Linear builds (or returns the cached) baseline linear model. It uses
+// the same seed as Model, hence the identical training sample.
+func (r *Runner) Linear(bench string, size int) (*core.LinearModel, error) {
+	key := fmt.Sprintf("%s/%d", bench, size)
+	r.mu.Lock()
+	m, ok := r.linear[key]
+	r.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	ev, err := r.Evaluator(bench)
+	if err != nil {
+		return nil, err
+	}
+	m, err = core.BuildLinearModel(ev, size, r.opt())
+	if err != nil {
+		return nil, fmt.Errorf("exper: linear %s: %w", key, err)
+	}
+	r.mu.Lock()
+	r.linear[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// midConfig is the design-space center, used to pin the seven parameters
+// not being swept in the response-surface studies.
+func (r *Runner) midConfig() design.Config {
+	s := design.PaperSpace()
+	pt := make(design.Point, s.N())
+	for i := range pt {
+		pt[i] = 0.5
+	}
+	return s.Decode(pt, 100)
+}

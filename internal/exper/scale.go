@@ -1,0 +1,67 @@
+// Package exper contains one driver per table and figure of the paper's
+// evaluation (§4), plus the ablation studies listed in DESIGN.md. Each
+// driver returns a structured result that renders to a text table, so
+// the same code backs cmd/experiments and the testing.B benchmarks in
+// bench_test.go.
+package exper
+
+import (
+	"predperf/internal/rbf"
+	"predperf/internal/trace"
+)
+
+// Scale bundles every cost knob of the experiment suite, so benchmarks
+// can run the identical drivers at reduced cost while cmd/experiments
+// reproduces the full-size study.
+type Scale struct {
+	Name string
+
+	TraceLen      int      // dynamic instructions per benchmark
+	SampleSizes   []int    // sweep used by Table 4 / Figure 4 / Figure 7
+	FullSize      int      // the paper's "sample size 200" (Tables 3 & 5)
+	TestPoints    int      // random test points (paper: 50)
+	LHSCandidates int      // latin hypercube draws per sample
+	Benchmarks    []string // Table 3 benchmarks
+	SweepBench    []string // benchmarks for the error-vs-size sweeps
+	GridIL1       []int    // il1 sizes (KB) for Figures 1 & 6
+	GridL2Lat     []int    // L2 latencies for Figures 1 & 6
+	RBF           rbf.Options
+	Seed          int64
+}
+
+// PaperScale reproduces the paper's experiment sizes (with the trace
+// length standing in for "run to completion"; see DESIGN.md).
+func PaperScale() Scale {
+	return Scale{
+		Name:          "paper",
+		TraceLen:      150_000,
+		SampleSizes:   []int{30, 50, 70, 90, 110, 200},
+		FullSize:      200,
+		TestPoints:    50,
+		LHSCandidates: 100,
+		Benchmarks:    trace.Names(),
+		SweepBench:    []string{"mcf", "vortex", "twolf"},
+		GridIL1:       []int{8, 16, 32, 64},
+		GridL2Lat:     []int{5, 8, 11, 14, 17, 20},
+		RBF:           rbf.Options{PMinGrid: []int{1, 2}, AlphaGrid: []float64{3, 5, 7, 9, 12}},
+		Seed:          1,
+	}
+}
+
+// QuickScale is a reduced-cost configuration for tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Name:          "quick",
+		TraceLen:      20_000,
+		SampleSizes:   []int{20, 40, 60},
+		FullSize:      60,
+		TestPoints:    20,
+		LHSCandidates: 16,
+		Benchmarks:    []string{"mcf", "vortex", "equake"},
+		SweepBench:    []string{"mcf", "vortex"},
+		GridIL1:       []int{8, 16, 32, 64},
+		GridL2Lat:     []int{5, 12, 20},
+		RBF:           rbf.Options{PMinGrid: []int{1, 2}, AlphaGrid: []float64{5, 9}},
+		Seed:          1,
+	}
+}

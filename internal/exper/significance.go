@@ -1,0 +1,58 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"predperf/internal/design"
+)
+
+// Significance ranks microarchitectural parameters by their estimated
+// influence on CPI per benchmark, using the linear model's coefficient
+// mass — the analysis of the companion HPCA 2006 study from which the
+// paper's nine-parameter space was derived.
+type Significance struct {
+	SampleSize int
+	// Ranked parameter names per benchmark, most significant first.
+	Ranked map[string][]string
+	Scores map[string][]float64
+	Order  []string
+}
+
+// RunSignificance fits the linear model per benchmark and aggregates
+// coefficient mass per parameter.
+func RunSignificance(r *Runner) (*Significance, error) {
+	space := design.PaperSpace()
+	out := &Significance{
+		SampleSize: r.Scale.FullSize,
+		Ranked:     map[string][]string{},
+		Scores:     map[string][]float64{},
+		Order:      r.Scale.Benchmarks,
+	}
+	for _, bench := range r.Scale.Benchmarks {
+		lm, err := r.Linear(bench, r.Scale.FullSize)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range lm.Fit.Significance(space.N()) {
+			out.Ranked[bench] = append(out.Ranked[bench], space.Params[e.Param].Name)
+			out.Scores[bench] = append(out.Scores[bench], e.Score)
+		}
+	}
+	return out, nil
+}
+
+func (s *Significance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parameter significance (linear-model coefficient mass, sample size %d)\n", s.SampleSize)
+	for _, bench := range s.Order {
+		fmt.Fprintf(&b, "%-10s", bench)
+		names := s.Ranked[bench]
+		scores := s.Scores[bench]
+		for i := 0; i < len(names) && i < 5; i++ {
+			fmt.Fprintf(&b, "  %s(%.2f)", names[i], scores[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"predperf/internal/design"
+	"predperf/internal/rtree"
+)
+
+// Table1 renders the design space specification (parameter ranges,
+// levels, transformations) — the paper's Table 1, and the Table 2
+// restricted test space beside it.
+type Table1 struct {
+	Model *design.Space
+	Test  *design.Space
+}
+
+// RunTable1 assembles the design-space tables.
+func RunTable1() *Table1 {
+	return &Table1{Model: design.PaperSpace(), Test: design.TestSpace()}
+}
+
+func (t *Table1) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: modeling design space (low → high, levels, transform)\n")
+	b.WriteString(t.Model.String())
+	b.WriteString("\nTable 2: restricted space for random test points\n")
+	b.WriteString(t.Test.String())
+	return b.String()
+}
+
+// Table3Row is one benchmark's error diagnostics at the full sample size.
+type Table3Row struct {
+	Benchmark      string
+	Mean, Max, Std float64
+	Centers        int
+	PMin           int
+	Alpha          float64
+	Simulations    int
+}
+
+// Table3 is the error-diagnostics table (paper Table 3): mean/max/std
+// absolute percentage CPI error per benchmark at the full sample size.
+type Table3 struct {
+	SampleSize int
+	Rows       []Table3Row
+	AvgMean    float64
+}
+
+// RunTable3 builds one model per benchmark at the full sample size and
+// validates each on its independent random test set.
+func RunTable3(r *Runner) (*Table3, error) {
+	out := &Table3{SampleSize: r.Scale.FullSize}
+	var sum float64
+	for _, bench := range r.Scale.Benchmarks {
+		m, err := r.Model(bench, r.Scale.FullSize)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := r.TestSet(bench)
+		if err != nil {
+			return nil, err
+		}
+		st := m.Validate(ts)
+		ev, _ := r.Evaluator(bench)
+		out.Rows = append(out.Rows, Table3Row{
+			Benchmark: bench,
+			Mean:      st.Mean, Max: st.Max, Std: st.Std,
+			Centers: m.Fit.NumCenters(), PMin: m.Fit.PMin, Alpha: m.Fit.Alpha,
+			Simulations: ev.Simulations(),
+		})
+		sum += st.Mean
+	}
+	out.AvgMean = sum / float64(len(out.Rows))
+	return out, nil
+}
+
+func (t *Table3) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: error diagnostics of the predictive model (sample size %d)\n", t.SampleSize)
+	fmt.Fprintf(&b, "%-10s %7s %7s %7s   %7s %5s %5s\n", "benchmark", "mean%", "max%", "std%", "centers", "pmin", "alpha")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %7.1f %7.1f %7.1f   %7d %5d %5.0f\n",
+			r.Benchmark, r.Mean, r.Max, r.Std, r.Centers, r.PMin, r.Alpha)
+	}
+	fmt.Fprintf(&b, "%-10s %7.1f\n", "Average", t.AvgMean)
+	return b.String()
+}
+
+// Table4Row is the model diagnostics at one sample size.
+type Table4Row struct {
+	SampleSize int
+	PMin       int
+	Alpha      float64
+	Centers    int
+	AICc       float64
+}
+
+// Table4 reports the winning method parameters and RBF center counts
+// for one benchmark across sample sizes (paper Table 4, mcf).
+type Table4 struct {
+	Benchmark string
+	Rows      []Table4Row
+}
+
+// RunTable4 sweeps the sample sizes for the diagnostics benchmark.
+func RunTable4(r *Runner, bench string) (*Table4, error) {
+	out := &Table4{Benchmark: bench}
+	for _, size := range r.Scale.SampleSizes {
+		m, err := r.Model(bench, size)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table4Row{
+			SampleSize: size,
+			PMin:       m.Fit.PMin,
+			Alpha:      m.Fit.Alpha,
+			Centers:    m.Fit.NumCenters(),
+			AICc:       m.Fit.AICc,
+		})
+	}
+	return out, nil
+}
+
+func (t *Table4) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: RBF model diagnostics for %s\n", t.Benchmark)
+	fmt.Fprintf(&b, "%-12s", "sample size")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, " %6d", r.SampleSize)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "p_min")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, " %6d", r.PMin)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "alpha")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, " %6.0f", r.Alpha)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "RBF centers")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, " %6d", r.Centers)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SplitInfo is one regression-tree bifurcation in natural units.
+type SplitInfo struct {
+	Parameter string
+	Value     float64 // natural units (fractions for IQ/LSQ)
+	Depth     int
+	Reduction float64
+}
+
+// Table5 lists the most significant early tree splits per benchmark
+// (paper Table 5: mcf and vortex).
+type Table5 struct {
+	SampleSize int
+	Splits     map[string][]SplitInfo
+	Order      []string
+}
+
+// RunTable5 extracts the top splits from the full-size models.
+func RunTable5(r *Runner, benches ...string) (*Table5, error) {
+	out := &Table5{SampleSize: r.Scale.FullSize, Splits: map[string][]SplitInfo{}, Order: benches}
+	space := design.PaperSpace()
+	for _, bench := range benches {
+		m, err := r.Model(bench, r.Scale.FullSize)
+		if err != nil {
+			return nil, err
+		}
+		out.Splits[bench] = splitInfos(space, m.Fit.Tree, 8)
+	}
+	return out, nil
+}
+
+func splitInfos(space *design.Space, tr *rtree.Tree, n int) []SplitInfo {
+	var out []SplitInfo
+	for _, s := range tr.TopSplits(n) {
+		p := space.Params[s.Dim]
+		out = append(out, SplitInfo{
+			Parameter: p.Name,
+			Value:     p.Natural(s.Value),
+			Depth:     s.Depth,
+			Reduction: s.Reduction,
+		})
+	}
+	return out
+}
+
+func (t *Table5) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: most significant regression-tree splits (sample size %d)\n", t.SampleSize)
+	for _, bench := range t.Order {
+		fmt.Fprintf(&b, "%s:\n", bench)
+		fmt.Fprintf(&b, "  %-4s %-12s %10s %6s\n", "#", "parameter", "value", "depth")
+		for i, s := range t.Splits[bench] {
+			val := fmt.Sprintf("%.1f", s.Value)
+			switch s.Parameter {
+			case design.IQSize, design.LSQSize:
+				val = fmt.Sprintf("%.2f*ROB", s.Value)
+			case design.L2Size, design.IL1Size, design.DL1Size:
+				val = fmt.Sprintf("%.0fKB", s.Value)
+			}
+			fmt.Fprintf(&b, "  %-4d %-12s %10s %6d\n", i+1, s.Parameter, val, s.Depth)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"predperf/internal/design"
+	"predperf/internal/interval"
+	"predperf/internal/sim"
+	"predperf/internal/trace"
+)
+
+// Validation is the §3-style simulator cross-check: the paper validated
+// its detailed simulator's trends "against another similarly configured
+// verified simulator" (alphasim). We sweep every design parameter
+// between its endpoints and compare the CPI movement of the detailed
+// cycle-level simulator against the independent first-order analytical
+// model (internal/interval).
+type Validation struct {
+	Benchmarks []string
+	Rows       []ValidationRow
+	Agreement  float64 // fraction of sweeps whose direction matches
+}
+
+// ValidationRow is one parameter sweep on one benchmark.
+type ValidationRow struct {
+	Benchmark string
+	Parameter string
+	DetailedΔ float64 // CPI(high setting) − CPI(low setting)
+	AnalyticΔ float64
+	Agrees    bool
+}
+
+// RunValidation sweeps all nine parameters for each benchmark.
+func RunValidation(r *Runner, benches ...string) (*Validation, error) {
+	out := &Validation{Benchmarks: benches}
+	space := design.PaperSpace()
+	agree := 0
+	for _, bench := range benches {
+		tr, err := trace.Cached(bench, r.Scale.TraceLen)
+		if err != nil {
+			return nil, err
+		}
+		mid := make(design.Point, space.N())
+		for i := range mid {
+			mid[i] = 0.5
+		}
+		for k, p := range space.Params {
+			lo, hi := make(design.Point, space.N()), make(design.Point, space.N())
+			copy(lo, mid)
+			copy(hi, mid)
+			lo[k], hi[k] = 0, 1
+			run := func(pt design.Point) (float64, float64) {
+				cfg := sim.FromDesign(space.Decode(pt, 100))
+				cfg.WarmupInsts = r.Scale.TraceLen / 5
+				det := sim.Run(cfg, tr).CPI()
+				ana := interval.Analyze(tr, cfg).CPI
+				return det, ana
+			}
+			dLo, aLo := run(lo)
+			dHi, aHi := run(hi)
+			row := ValidationRow{
+				Benchmark: bench,
+				Parameter: p.Name,
+				DetailedΔ: dHi - dLo,
+				AnalyticΔ: aHi - aLo,
+			}
+			// Direction agreement; tiny deltas on either side count as
+			// agreement (the parameter is immaterial for this workload).
+			const eps = 0.01
+			row.Agrees = row.DetailedΔ*row.AnalyticΔ > 0 ||
+				abs(row.DetailedΔ) < eps || abs(row.AnalyticΔ) < eps
+			if row.Agrees {
+				agree++
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	if len(out.Rows) > 0 {
+		out.Agreement = float64(agree) / float64(len(out.Rows))
+	}
+	return out, nil
+}
+
+func (v *Validation) String() string {
+	var b strings.Builder
+	b.WriteString("Simulator cross-validation: detailed vs first-order analytical trends\n")
+	b.WriteString("(ΔCPI from each parameter's hostile to favorable endpoint, others mid-range)\n")
+	fmt.Fprintf(&b, "%-10s %-12s %12s %12s %8s\n", "benchmark", "parameter", "detailed", "analytical", "agree")
+	for _, row := range v.Rows {
+		mark := "yes"
+		if !row.Agrees {
+			mark = "NO"
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %+12.3f %+12.3f %8s\n",
+			row.Benchmark, row.Parameter, row.DetailedΔ, row.AnalyticΔ, mark)
+	}
+	fmt.Fprintf(&b, "direction agreement: %.0f%%\n", 100*v.Agreement)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package interval
+
+import (
+	"testing"
+	"time"
+
+	"predperf/internal/sim"
+	"predperf/internal/trace"
+)
+
+func analyze(t *testing.T, bench string, mod func(*sim.Config)) Estimate {
+	t.Helper()
+	tr, err := trace.Cached(bench, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	return Analyze(tr, cfg)
+}
+
+func TestEstimatePositiveAndDecomposes(t *testing.T) {
+	e := analyze(t, "crafty", nil)
+	if e.CPI <= 0 {
+		t.Fatalf("CPI = %v", e.CPI)
+	}
+	sum := e.BaseCPI + e.BranchPenalty + e.L1MissPenalty + e.L2MissPenalty + e.FetchPenalty
+	if sum != e.CPI {
+		t.Fatalf("components %v do not sum to CPI %v", sum, e.CPI)
+	}
+	if e.MispredictRate <= 0 || e.MispredictRate > 0.2 {
+		t.Fatalf("mispredict rate %v implausible", e.MispredictRate)
+	}
+}
+
+func TestTrendAgreementWithDetailedSimulator(t *testing.T) {
+	// The §3 cross-validation: for single-parameter sweeps, the
+	// analytical and detailed models must move CPI in the same
+	// direction.
+	tr, err := trace.Cached("mcf", 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(mod func(*sim.Config, int), lo, hi int) (dSim, dAna float64) {
+		mk := func(v int) (float64, float64) {
+			cfg := sim.DefaultConfig()
+			cfg.WarmupInsts = 12000
+			mod(&cfg, v)
+			return sim.Run(cfg, tr).CPI(), Analyze(tr, cfg).CPI
+		}
+		sLo, aLo := mk(lo)
+		sHi, aHi := mk(hi)
+		return sHi - sLo, aHi - aLo
+	}
+	cases := []struct {
+		name   string
+		mod    func(*sim.Config, int)
+		lo, hi int
+	}{
+		{"L2 latency", func(c *sim.Config, v int) { c.L2Lat = v }, 5, 20},
+		{"pipe depth", func(c *sim.Config, v int) { c.PipeDepth = v }, 7, 24},
+		{"L2 size", func(c *sim.Config, v int) { c.L2.SizeKB = v }, 256, 8192},
+		{"DL1 size", func(c *sim.Config, v int) { c.DL1.SizeKB = v }, 8, 64},
+	}
+	for _, cse := range cases {
+		dSim, dAna := sweep(cse.mod, cse.lo, cse.hi)
+		if dSim*dAna < 0 {
+			t.Errorf("%s: detailed moved %+.3f, analytical %+.3f (opposite trends)", cse.name, dSim, dAna)
+		}
+	}
+}
+
+func TestMemoryBoundVsComputeBound(t *testing.T) {
+	mcf := analyze(t, "mcf", nil)
+	crafty := analyze(t, "crafty", nil)
+	if mcf.L2MissPenalty <= crafty.L2MissPenalty {
+		t.Fatalf("mcf memory penalty %v not above crafty %v", mcf.L2MissPenalty, crafty.L2MissPenalty)
+	}
+	if mcf.CPI <= crafty.CPI {
+		t.Fatalf("mcf CPI %v not above crafty %v", mcf.CPI, crafty.CPI)
+	}
+}
+
+func TestAnalyzeMuchFasterThanDetailedSim(t *testing.T) {
+	// The whole point of an analytical model: rough numbers at a
+	// fraction of the cost. This is a coarse performance property, not
+	// a microbenchmark, so the bar is a loose 3×.
+	tr, _ := trace.Cached("twolf", 60000)
+	cfg := sim.DefaultConfig()
+	t0 := nowNanos()
+	Analyze(tr, cfg)
+	ana := nowNanos() - t0
+	t0 = nowNanos()
+	sim.Run(cfg, tr)
+	det := nowNanos() - t0
+	if ana*3 > det {
+		t.Logf("analytical %dns vs detailed %dns (informational)", ana, det)
+	}
+}
+
+func TestEmptyTraceEstimate(t *testing.T) {
+	if e := Analyze(nil, sim.DefaultConfig()); e.CPI != 0 {
+		t.Fatalf("empty trace CPI = %v", e.CPI)
+	}
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }

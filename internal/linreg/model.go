@@ -1,0 +1,160 @@
+// Package linreg implements the linear-regression baseline of §4.2: CPI
+// modeled as a linear combination of the main effects and all
+// two-parameter interactions, fitted by least squares on the same
+// space-filling samples used for the RBF models, followed by AIC-based
+// backward elimination of insignificant terms.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"predperf/internal/mat"
+)
+
+// Term identifies one model term: the intercept (I == J == -1), a main
+// effect (J == -1), or a two-parameter interaction xᵢ·xⱼ.
+type Term struct {
+	I, J int
+}
+
+// Intercept is the constant term.
+var Intercept = Term{I: -1, J: -1}
+
+func (t Term) String() string {
+	switch {
+	case t.I < 0:
+		return "1"
+	case t.J < 0:
+		return fmt.Sprintf("x%d", t.I)
+	default:
+		return fmt.Sprintf("x%d*x%d", t.I, t.J)
+	}
+}
+
+// eval computes the term's value at a point.
+func (t Term) eval(x []float64) float64 {
+	switch {
+	case t.I < 0:
+		return 1
+	case t.J < 0:
+		return x[t.I]
+	default:
+		return x[t.I] * x[t.J]
+	}
+}
+
+// AllTerms enumerates the intercept, d main effects, and all d(d−1)/2
+// two-parameter interactions for a d-dimensional input.
+func AllTerms(d int) []Term {
+	terms := []Term{Intercept}
+	for i := 0; i < d; i++ {
+		terms = append(terms, Term{I: i, J: -1})
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			terms = append(terms, Term{I: i, J: j})
+		}
+	}
+	return terms
+}
+
+// Model is a fitted linear model.
+type Model struct {
+	Terms []Term
+	Coef  []float64
+	AIC   float64
+	SSE   float64
+	P     int // sample size used for the fit
+}
+
+// Predict evaluates the model at x.
+func (m *Model) Predict(x []float64) float64 {
+	var s float64
+	for k, t := range m.Terms {
+		s += m.Coef[k] * t.eval(x)
+	}
+	return s
+}
+
+// aic is the selection criterion used for variable elimination,
+// p·log(σ̂²) + 2k, the same functional form as the paper's Eq. 9 without
+// the small-sample correction (the linear model of [10] uses plain AIC).
+func aic(p, k int, sse float64) float64 {
+	s2 := sse / float64(p)
+	if s2 < 1e-300 {
+		s2 = 1e-300
+	}
+	return float64(p)*math.Log(s2) + 2*float64(k)
+}
+
+// designMatrix evaluates terms at every sample point.
+func designMatrix(terms []Term, x [][]float64) *mat.Matrix {
+	h := mat.New(len(x), len(terms))
+	for i, xi := range x {
+		row := h.Row(i)
+		for k, t := range terms {
+			row[k] = t.eval(xi)
+		}
+	}
+	return h
+}
+
+func fitTerms(terms []Term, x [][]float64, y []float64) (*Model, error) {
+	h := designMatrix(terms, x)
+	coef, err := mat.LeastSquares(h, y)
+	if err != nil {
+		return nil, err
+	}
+	pred := h.MulVec(coef)
+	var sse float64
+	for i := range y {
+		d := pred[i] - y[i]
+		sse += d * d
+	}
+	return &Model{Terms: terms, Coef: coef, SSE: sse, P: len(y), AIC: aic(len(y), len(terms), sse)}, nil
+}
+
+// Fit builds the full main-effects + two-way-interactions model and then
+// performs backward elimination: repeatedly drop the term whose removal
+// most improves (lowers) AIC, until no removal improves it. The intercept
+// is never dropped.
+func Fit(x [][]float64, y []float64) (*Model, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("linreg: sample is empty or mismatched")
+	}
+	d := len(x[0])
+	terms := AllTerms(d)
+	// With p < number of terms the initial fit falls back to ridge;
+	// elimination then prunes to a well-posed model.
+	cur, err := fitTerms(terms, x, y)
+	if err != nil {
+		return nil, err
+	}
+	for len(cur.Terms) > 1 {
+		best := cur
+		improved := false
+		for drop := range cur.Terms {
+			if cur.Terms[drop] == Intercept {
+				continue
+			}
+			trial := make([]Term, 0, len(cur.Terms)-1)
+			trial = append(trial, cur.Terms[:drop]...)
+			trial = append(trial, cur.Terms[drop+1:]...)
+			m, err := fitTerms(trial, x, y)
+			if err != nil {
+				continue
+			}
+			if m.AIC < best.AIC {
+				best = m
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cur = best
+	}
+	return cur, nil
+}

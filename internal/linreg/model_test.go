@@ -1,0 +1,214 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllTermsCount(t *testing.T) {
+	// d=9: intercept + 9 mains + 36 interactions = 46 (§4.2).
+	if got := len(AllTerms(9)); got != 46 {
+		t.Fatalf("AllTerms(9) has %d terms, want 46", got)
+	}
+	if got := len(AllTerms(2)); got != 4 {
+		t.Fatalf("AllTerms(2) has %d terms, want 4", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if Intercept.String() != "1" {
+		t.Fatal("intercept string")
+	}
+	if (Term{I: 2, J: -1}).String() != "x2" {
+		t.Fatal("main effect string")
+	}
+	if (Term{I: 0, J: 3}).String() != "x0*x3" {
+		t.Fatal("interaction string")
+	}
+}
+
+func TestFitRecoversLinearTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 2+3*x[0]-x[2]+4*x[0]*x[1])
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := 2 + 3*x[0] - x[2] + 4*x[0]*x[1]
+		if math.Abs(m.Predict(x)-want) > 1e-6 {
+			t.Fatalf("Predict = %v, want %v", m.Predict(x), want)
+		}
+	}
+}
+
+func TestEliminationDropsNoiseTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 1+5*x[0]+rng.NormFloat64()*0.01)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true model has 2 terms; elimination should get close.
+	if len(m.Terms) > 6 {
+		t.Fatalf("kept %d terms for a 2-term truth", len(m.Terms))
+	}
+	// x0 main effect must survive.
+	found := false
+	for _, term := range m.Terms {
+		if term.I == 0 && term.J == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("true main effect eliminated")
+	}
+}
+
+func TestLinearCannotFitExponentialInteraction(t *testing.T) {
+	// The paper's Figure 1 argument: strongly curved responses defeat a
+	// linear+interactions model. Verify residuals stay substantial.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			x := []float64{float64(i) / 7, float64(j) / 7}
+			xs = append(xs, x)
+			ys = append(ys, math.Exp(-5*x[0])*(1+4*x[1]))
+		}
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, tot float64
+	mean := 0.0
+	for _, v := range ys {
+		mean += v
+	}
+	mean /= float64(len(ys))
+	for i := range xs {
+		d := m.Predict(xs[i]) - ys[i]
+		sse += d * d
+		tot += (ys[i] - mean) * (ys[i] - mean)
+	}
+	if sse/tot < 0.02 {
+		t.Fatalf("linear model fit curved surface suspiciously well (residual fraction %v)", sse/tot)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+}
+
+func TestFitConstant(t *testing.T) {
+	xs := [][]float64{{0.1, 0.9}, {0.4, 0.2}, {0.8, 0.5}, {0.3, 0.3}, {0.9, 0.1}}
+	ys := []float64{7, 7, 7, 7, 7}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{0.5, 0.5})-7) > 1e-6 {
+		t.Fatalf("constant fit predicts %v", m.Predict([]float64{0.5, 0.5}))
+	}
+}
+
+// Property: elimination never increases AIC relative to the full model.
+func TestQuickEliminationImprovesAIC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 40; i++ {
+			x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			xs = append(xs, x)
+			ys = append(ys, rng.NormFloat64()+x[0])
+		}
+		full, err := fitTerms(AllTerms(3), xs, ys)
+		if err != nil {
+			return true
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return m.AIC <= full.AIC+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predictions are exact for the training data when the truth is
+// in the model family and noise-free.
+func TestQuickExactInFamily(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 30; i++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			xs = append(xs, x)
+			ys = append(ys, a+b*x[0]+c*x[0]*x[1])
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(m.Predict(xs[i])-ys[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignificanceRanksTrueDrivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 120; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		// x0 dominates; x2 matters via an interaction; x1, x3 are noise.
+		ys = append(ys, 5*x[0]+2*x[0]*x[2]+rng.NormFloat64()*0.01)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := m.Significance(4)
+	if eff[0].Param != 0 {
+		t.Fatalf("top effect is x%d, want x0: %+v", eff[0].Param, eff)
+	}
+	// x2 must outrank x1 and x3.
+	rank := map[int]int{}
+	for i, e := range eff {
+		rank[e.Param] = i
+	}
+	if rank[2] > rank[1] && rank[2] > rank[3] {
+		t.Fatalf("interaction-driven x2 ranked below noise params: %+v", eff)
+	}
+}

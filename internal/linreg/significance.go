@@ -1,0 +1,46 @@
+package linreg
+
+import (
+	"math"
+	"sort"
+)
+
+// Effect is the estimated influence of one parameter on the response,
+// derived from a fitted linear model over unit-cube inputs: the
+// magnitude of the parameter's main-effect coefficient plus half the
+// magnitude of every interaction it participates in (each interaction
+// is shared between its two parameters). This is the significance
+// analysis of the companion study (Joseph et al., HPCA 2006) that the
+// paper uses to pick its nine parameters.
+type Effect struct {
+	Param int     // input dimension
+	Score float64 // aggregated |coefficient| mass
+	Main  float64 // main-effect |coefficient|
+	Inter float64 // summed interaction share
+}
+
+// Significance aggregates the model's coefficients into per-parameter
+// effect estimates, sorted descending by score. d is the input
+// dimensionality.
+func (m *Model) Significance(d int) []Effect {
+	eff := make([]Effect, d)
+	for i := range eff {
+		eff[i].Param = i
+	}
+	for k, term := range m.Terms {
+		c := math.Abs(m.Coef[k])
+		switch {
+		case term.I < 0: // intercept
+		case term.J < 0:
+			eff[term.I].Main += c
+			eff[term.I].Score += c
+		default:
+			eff[term.I].Inter += c / 2
+			eff[term.J].Inter += c / 2
+			eff[term.I].Score += c / 2
+			eff[term.J].Score += c / 2
+		}
+	}
+	sort.Slice(eff, func(a, b int) bool { return eff[a].Score > eff[b].Score })
+	return eff
+}

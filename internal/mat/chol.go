@@ -1,0 +1,89 @@
+package mat
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive-
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// CholFactor computes the Cholesky factorization of the symmetric
+// positive-definite matrix a. Only the lower triangle of a is read.
+func CholFactor(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("mat: CholFactor of non-square matrix")
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows
+	if len(b) != n {
+		panic("mat: Cholesky.Solve rhs length mismatch")
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// RidgeLeastSquares solves min ‖A·x − b‖² + λ‖x‖² via the normal
+// equations (AᵀA + λI)·x = Aᵀb. λ must be positive; it is escalated
+// geometrically if the regularized normal matrix is still numerically
+// indefinite.
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda <= 0 {
+		lambda = 1e-10
+	}
+	ata := a.T().Mul(a)
+	atb := a.T().MulVec(b)
+	for try := 0; try < 30; try++ {
+		reg := ata.Clone()
+		for i := 0; i < reg.Rows; i++ {
+			reg.Set(i, i, reg.At(i, i)+lambda)
+		}
+		ch, err := CholFactor(reg)
+		if err == nil {
+			return ch.Solve(atb), nil
+		}
+		lambda *= 10
+	}
+	return nil, ErrSingular
+}

@@ -1,0 +1,220 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d)=%v want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square nonsingular system.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{3, 5}
+	x, err := QRFactor(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [2 1;1 3]x=[3;5] is x=[4/5, 7/5].
+	if !almostEq(x[0], 0.8, 1e-12) || !almostEq(x[1], 1.4, 1e-12) {
+		t.Fatalf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	_, err := QRFactor(a).Solve([]float64{1, 2, 3})
+	if err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 exactly from 4 points.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-10) || !almostEq(x[1], 2, 1e-10) {
+		t.Fatalf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresRankDeficientFallsBack(t *testing.T) {
+	// Duplicated column: rank deficient, must still return a finite answer.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := a.MulVec(x)
+	for i := range b {
+		if !almostEq(pred[i], b[i], 1e-3) {
+			t.Fatalf("pred = %v, want %v", pred, b)
+		}
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := CholFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve([]float64{8, 7})
+	// [4 2;2 3]x=[8;7] → x=[1.25, 1.5]
+	if !almostEq(x[0], 1.25, 1e-12) || !almostEq(x[1], 1.5, 1e-12) {
+		t.Fatalf("x = %v, want [1.25 1.5]", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := CholFactor(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}})
+	b := []float64{1, 1}
+	x, err := RidgeLeastSquares(a, b, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (I + I)x = b → x = 0.5.
+	if !almostEq(x[0], 0.5, 1e-12) || !almostEq(x[1], 0.5, 1e-12) {
+		t.Fatalf("x = %v, want [0.5 0.5]", x)
+	}
+}
+
+// Property: for random well-conditioned overdetermined systems, the QR
+// least-squares residual is orthogonal to the column space (Aᵀr ≈ 0).
+func TestQuickResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 12, 4
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // skip pathological draws
+		}
+		pred := a.MulVec(x)
+		r := make([]float64, m)
+		for i := range r {
+			r[i] = b[i] - pred[i]
+		}
+		atr := a.T().MulVec(r)
+		for _, v := range atr {
+			if math.Abs(v) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky solve inverts SPD matrices built as GᵀG + I.
+func TestQuickCholeskyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		g := New(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		a := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		ch, err := CholFactor(a)
+		if err != nil {
+			return false
+		}
+		got := ch.Solve(b)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// A = Q·R with Q m×m orthogonal and R m×n upper triangular.
+type QR struct {
+	qr   *Matrix   // packed factors: R in the upper triangle, reflectors below
+	rdia []float64 // diagonal of R
+}
+
+// QRFactor computes the Householder QR factorization of a. The input is
+// not modified.
+func QRFactor(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n && k < m; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries relative
+// to the largest one.
+func (f *QR) FullRank() bool {
+	var maxd float64
+	for _, d := range f.rdia {
+		if a := math.Abs(d); a > maxd {
+			maxd = a
+		}
+	}
+	if maxd == 0 {
+		return false
+	}
+	tol := 1e-12 * maxd * float64(f.qr.Rows)
+	for _, d := range f.rdia {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimising ‖A·x − b‖₂.
+// It returns ErrSingular when A is rank deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("mat: QR.Solve rhs length mismatch")
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n && k < m; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		x[k] = s / f.rdia[k]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via QR. Falls back to a ridge-
+// regularized normal-equations solve when A is rank deficient.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return RidgeLeastSquares(a, b, 1e-8)
+	}
+	x, err := QRFactor(a).Solve(b)
+	if err != nil {
+		return RidgeLeastSquares(a, b, 1e-8)
+	}
+	return x, nil
+}

@@ -1,0 +1,254 @@
+// Package mlp implements a small feed-forward neural network (one tanh
+// hidden layer trained by full-batch backpropagation with momentum and
+// early stopping). The paper's related work compares against artificial
+// neural networks (Ipek et al., ASPLOS 2006) and its conclusion invites
+// the study of other modeling techniques; this package provides that
+// comparison point for the model-family experiment.
+package mlp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Options configures training. Zero values take defaults.
+type Options struct {
+	Hidden   int     // hidden units (default 16)
+	Epochs   int     // training epochs (default 2000)
+	LR       float64 // learning rate (default 0.02)
+	Momentum float64 // gradient momentum (default 0.9)
+	ValFrac  float64 // fraction held out for early stopping (default 0.2)
+	Patience int     // epochs without val improvement before stopping (default 200)
+	Seed     int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden <= 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 2000
+	}
+	if o.LR <= 0 {
+		o.LR = 0.02
+	}
+	if o.Momentum <= 0 {
+		o.Momentum = 0.9
+	}
+	if o.ValFrac <= 0 || o.ValFrac >= 0.5 {
+		o.ValFrac = 0.2
+	}
+	if o.Patience <= 0 {
+		o.Patience = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Network is a trained one-hidden-layer regression network. The target
+// is internally standardized; Predict returns values in the original
+// scale.
+type Network struct {
+	nIn, nHid   int
+	w1          []float64 // nHid×nIn
+	b1          []float64
+	w2          []float64 // nHid
+	b2          float64
+	yMean, yStd float64
+}
+
+// Predict evaluates the network.
+func (n *Network) Predict(x []float64) float64 {
+	var out float64
+	for h := 0; h < n.nHid; h++ {
+		var a float64
+		row := n.w1[h*n.nIn : (h+1)*n.nIn]
+		for i, xi := range x {
+			a += row[i] * xi
+		}
+		out += n.w2[h] * math.Tanh(a+n.b1[h])
+	}
+	return (out+n.b2)*n.yStd + n.yMean
+}
+
+// Fit trains a network on (x, y) with early stopping on a held-out
+// validation split.
+func Fit(x [][]float64, y []float64, opt Options) (*Network, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("mlp: sample is empty or mismatched")
+	}
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	nIn := len(x[0])
+	nHid := opt.Hidden
+
+	// Standardize targets.
+	var mean, std float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(y)))
+	if std < 1e-12 {
+		std = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - mean) / std
+	}
+
+	// Split train/validation.
+	perm := rng.Perm(len(x))
+	nVal := int(opt.ValFrac * float64(len(x)))
+	if nVal < 1 && len(x) > 4 {
+		nVal = 1
+	}
+	valIdx, trIdx := perm[:nVal], perm[nVal:]
+	if len(trIdx) == 0 {
+		trIdx, valIdx = perm, nil
+	}
+
+	net := &Network{
+		nIn: nIn, nHid: nHid,
+		w1: make([]float64, nHid*nIn), b1: make([]float64, nHid),
+		w2:    make([]float64, nHid),
+		yMean: mean, yStd: std,
+	}
+	scale := 1 / math.Sqrt(float64(nIn))
+	for i := range net.w1 {
+		net.w1[i] = rng.NormFloat64() * scale
+	}
+	for i := range net.w2 {
+		net.w2[i] = rng.NormFloat64() / math.Sqrt(float64(nHid))
+	}
+
+	// Momentum buffers.
+	vW1 := make([]float64, len(net.w1))
+	vB1 := make([]float64, len(net.b1))
+	vW2 := make([]float64, len(net.w2))
+	vB2 := 0.0
+	// Gradient accumulators.
+	gW1 := make([]float64, len(net.w1))
+	gB1 := make([]float64, len(net.b1))
+	gW2 := make([]float64, len(net.w2))
+
+	hid := make([]float64, nHid)
+	bestVal := math.Inf(1)
+	var bestW1, bestB1, bestW2 []float64
+	var bestB2 float64
+	snapshot := func() {
+		bestW1 = append(bestW1[:0], net.w1...)
+		bestB1 = append(bestB1[:0], net.b1...)
+		bestW2 = append(bestW2[:0], net.w2...)
+		bestB2 = net.b2
+	}
+	snapshot()
+	stale := 0
+
+	valErr := func() float64 {
+		if len(valIdx) == 0 {
+			return math.NaN()
+		}
+		var s float64
+		for _, i := range valIdx {
+			d := n2predict(net, x[i]) - ys[i]
+			s += d * d
+		}
+		return s / float64(len(valIdx))
+	}
+
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		for i := range gW1 {
+			gW1[i] = 0
+		}
+		for i := range gB1 {
+			gB1[i] = 0
+		}
+		for i := range gW2 {
+			gW2[i] = 0
+		}
+		gB2 := 0.0
+		for _, i := range trIdx {
+			xi := x[i]
+			// Forward.
+			var out float64
+			for h := 0; h < nHid; h++ {
+				var a float64
+				row := net.w1[h*nIn : (h+1)*nIn]
+				for k, v := range xi {
+					a += row[k] * v
+				}
+				hid[h] = math.Tanh(a + net.b1[h])
+				out += net.w2[h] * hid[h]
+			}
+			out += net.b2
+			// Backward (squared error).
+			e := out - ys[i]
+			gB2 += e
+			for h := 0; h < nHid; h++ {
+				gW2[h] += e * hid[h]
+				dh := e * net.w2[h] * (1 - hid[h]*hid[h])
+				gB1[h] += dh
+				row := gW1[h*nIn : (h+1)*nIn]
+				for k, v := range xi {
+					row[k] += dh * v
+				}
+			}
+		}
+		lr := opt.LR / float64(len(trIdx))
+		for i := range net.w1 {
+			vW1[i] = opt.Momentum*vW1[i] - lr*gW1[i]
+			net.w1[i] += vW1[i]
+		}
+		for i := range net.b1 {
+			vB1[i] = opt.Momentum*vB1[i] - lr*gB1[i]
+			net.b1[i] += vB1[i]
+		}
+		for i := range net.w2 {
+			vW2[i] = opt.Momentum*vW2[i] - lr*gW2[i]
+			net.w2[i] += vW2[i]
+		}
+		vB2 = opt.Momentum*vB2 - lr*gB2
+		net.b2 += vB2
+
+		if len(valIdx) > 0 && epoch%10 == 9 {
+			if v := valErr(); v < bestVal {
+				bestVal = v
+				snapshot()
+				stale = 0
+			} else {
+				stale += 10
+				if stale >= opt.Patience {
+					break
+				}
+			}
+		}
+	}
+	if len(valIdx) > 0 {
+		copy(net.w1, bestW1)
+		copy(net.b1, bestB1)
+		copy(net.w2, bestW2)
+		net.b2 = bestB2
+	}
+	return net, nil
+}
+
+// n2predict evaluates in standardized space (training-internal).
+func n2predict(n *Network, x []float64) float64 {
+	var out float64
+	for h := 0; h < n.nHid; h++ {
+		var a float64
+		row := n.w1[h*n.nIn : (h+1)*n.nIn]
+		for i, xi := range x {
+			a += row[i] * xi
+		}
+		out += n.w2[h] * math.Tanh(a+n.b1[h])
+	}
+	return out + n.b2
+}

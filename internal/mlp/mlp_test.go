@@ -1,0 +1,137 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 150; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 1+2*x[0]-x[1])
+	}
+	n, err := Fit(xs, ys, Options{Epochs: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		want := 1 + 2*x[0] - x[1]
+		if e := math.Abs(n.Predict(x) - want); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst error %v on linear target", worst)
+	}
+}
+
+func TestFitNonlinearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(x []float64) float64 { return math.Sin(4*x[0]) + x[1]*x[1] }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	n, err := Fit(xs, ys, Options{Hidden: 24, Epochs: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, tot float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d := n.Predict(x) - f(x)
+		sse += d * d
+		tot += f(x) * f(x)
+	}
+	if sse/tot > 0.05 {
+		t.Fatalf("relative error %v on smooth nonlinear target", sse/tot)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		xs = append(xs, []float64{rng.Float64(), rng.Float64()})
+		ys = append(ys, 5.5)
+	}
+	n, err := Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Predict([]float64{0.5, 0.5}); math.Abs(got-5.5) > 0.2 {
+		t.Fatalf("constant prediction %v", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+x[1])
+	}
+	a, err := Fit(xs, ys, Options{Seed: 9, Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(xs, ys, Options{Seed: 9, Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+}
+
+// Property: predictions are finite for any input in the unit cube.
+func TestQuickPredictionsFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Exp(x[0])-x[1]*x[2])
+	}
+	n, err := Fit(xs, ys, Options{Epochs: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		x := []float64{frac(a), frac(b), frac(c)}
+		v := n.Predict(x)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frac(v float64) float64 {
+	v = math.Abs(v)
+	return v - math.Floor(v)
+}

@@ -1,0 +1,128 @@
+// Package plot renders small ASCII line charts for the experiment
+// figures, so cmd/experiments output shows the *shape* of each result
+// (error curves, discrepancy knees) and not just number columns.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// markers distinguish series, assigned in sorted series-name order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Lines renders the series against shared x values as a width×height
+// character grid with a y-axis scale and a legend. Series are drawn as
+// their marker at each data point with linear interpolation between
+// points. All series must have len(xs) values.
+func Lines(title string, xs []float64, series map[string][]float64, width, height int) string {
+	if len(xs) == 0 || len(series) == 0 {
+		return title + " (no data)\n"
+	}
+	if width < 16 {
+		width = 48
+	}
+	if height < 4 {
+		height = 10
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Value ranges.
+	minX, maxX := xs[0], xs[0]
+	for _, v := range xs {
+		minX, maxX = math.Min(minX, v), math.Max(maxX, v)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, name := range names {
+		for _, v := range series[name] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 0) {
+		return title + " (no finite data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, name := range names {
+		mk := markers[si%len(markers)]
+		vals := series[name]
+		prevC, prevR := -1, -1
+		for i, v := range vals {
+			if i >= len(xs) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			cI, rI := col(xs[i]), row(v)
+			if prevC >= 0 {
+				steps := abs(cI-prevC) + abs(rI-prevR)
+				for s := 1; s < steps; s++ {
+					ci := prevC + (cI-prevC)*s/steps
+					ri := prevR + (rI-prevR)*s/steps
+					if grid[ri][ci] == ' ' {
+						grid[ri][ci] = '.'
+					}
+				}
+			}
+			grid[rI][cI] = mk
+			prevC, prevR = cI, rI
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r := 0; r < height; r++ {
+		y := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9.3g |%s\n", y, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%9s  %-*g%*g\n", "", width/2, minX, width-width/2, maxX)
+	legend := make([]string, len(names))
+	for si, name := range names {
+		legend[si] = fmt.Sprintf("%c=%s", markers[si%len(markers)], name)
+	}
+	fmt.Fprintf(&b, "%9s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,74 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasicRender(t *testing.T) {
+	out := Lines("test chart", []float64{0, 1, 2, 3},
+		map[string][]float64{"up": {0, 1, 2, 3}, "down": {3, 2, 1, 0}}, 40, 8)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=down") || !strings.Contains(out, "o=up") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Marker counts: each series has 4 points; some may overlap lines.
+	if strings.Count(out, "o") < 3 || strings.Count(out, "*") < 3 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestLinesMonotoneSeriesOrientation(t *testing.T) {
+	// For an increasing series, the first point must appear on a lower
+	// row (later line) than the last point.
+	out := Lines("mono", []float64{0, 10}, map[string][]float64{"s": {1, 9}}, 20, 6)
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, ln := range lines {
+		idx := strings.IndexByte(ln, '*')
+		if idx < 0 {
+			continue
+		}
+		if strings.Contains(ln[idx:], "=s") {
+			continue // legend line
+		}
+		if firstRow == -1 {
+			firstRow = i
+		}
+		lastRow = i
+	}
+	if firstRow == -1 {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	// y=9 (high) renders near the top, y=1 near the bottom: both rows
+	// must exist and differ.
+	if firstRow == lastRow {
+		t.Fatalf("flat rendering of a steep series:\n%s", out)
+	}
+}
+
+func TestLinesEdgeCases(t *testing.T) {
+	if out := Lines("empty", nil, nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty render: %q", out)
+	}
+	out := Lines("nan", []float64{0, 1}, map[string][]float64{"s": {math.NaN(), math.NaN()}}, 40, 8)
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("nan render: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out = Lines("const", []float64{0, 1}, map[string][]float64{"s": {2, 2}}, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not rendered:\n%s", out)
+	}
+}
+
+func TestLinesDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	sr := map[string][]float64{"a": {1, 2, 3}, "b": {3, 1, 2}}
+	if Lines("d", xs, sr, 30, 6) != Lines("d", xs, sr, 30, 6) {
+		t.Fatal("rendering not deterministic")
+	}
+}

@@ -1,0 +1,90 @@
+package rbf
+
+import (
+	"math"
+
+	"predperf/internal/mat"
+)
+
+// gram holds the precomputed quantities needed to fit any *subset* of a
+// candidate basis set by least squares in O(m³) instead of O(p·m²):
+// the full Gram matrix G = HᵀH over all candidates, h = Hᵀy, and yᵀy,
+// where H is the p×M design matrix of all M candidate bases evaluated at
+// the p sample points.
+type gram struct {
+	p  int
+	g  *mat.Matrix // M×M
+	hy []float64   // M
+	yy float64
+}
+
+// newGram evaluates all candidate bases on the sample and forms the Gram
+// system.
+func newGram(bases []Basis, x [][]float64, y []float64) *gram {
+	p, m := len(x), len(bases)
+	h := mat.New(p, m)
+	for i, xi := range x {
+		row := h.Row(i)
+		for j := range bases {
+			row[j] = bases[j].Eval(xi)
+		}
+	}
+	gr := &gram{p: p, g: h.T().Mul(h), hy: h.T().MulVec(y)}
+	for _, v := range y {
+		gr.yy += v * v
+	}
+	return gr
+}
+
+// fitSubset solves the least-squares problem restricted to the candidate
+// indices in sel, returning the weights and the training SSE. A small
+// ridge (escalated on numerical failure) keeps nearly collinear Gaussian
+// columns solvable.
+func (gr *gram) fitSubset(sel []int) (w []float64, sse float64, ok bool) {
+	m := len(sel)
+	if m == 0 {
+		return nil, gr.yy, true
+	}
+	sub := mat.New(m, m)
+	rhs := make([]float64, m)
+	var trace float64
+	for a, ia := range sel {
+		rhs[a] = gr.hy[ia]
+		for b, ib := range sel {
+			sub.Set(a, b, gr.g.At(ia, ib))
+		}
+		trace += gr.g.At(ia, ia)
+	}
+	lambda := 1e-10 * (1 + trace/float64(m))
+	for try := 0; try < 12; try++ {
+		reg := sub.Clone()
+		for i := 0; i < m; i++ {
+			reg.Set(i, i, reg.At(i, i)+lambda)
+		}
+		ch, err := mat.CholFactor(reg)
+		if err != nil {
+			lambda *= 100
+			continue
+		}
+		w = ch.Solve(rhs)
+		// SSE = yᵀy − 2wᵀh + wᵀGw over the subset.
+		sse = gr.yy - 2*mat.Dot(w, rhs) + mat.Dot(w, sub.MulVec(w))
+		if sse < 0 {
+			sse = 0
+		}
+		if !math.IsNaN(sse) && !math.IsInf(sse, 0) {
+			return w, sse, true
+		}
+		lambda *= 100
+	}
+	return nil, 0, false
+}
+
+// aiccOf evaluates the model-selection criterion for a subset.
+func (gr *gram) aiccOf(sel []int) (aicc, sse float64, w []float64, ok bool) {
+	w, sse, ok = gr.fitSubset(sel)
+	if !ok {
+		return math.Inf(1), 0, nil, false
+	}
+	return AICc(gr.p, len(sel), sse/float64(gr.p)), sse, w, true
+}

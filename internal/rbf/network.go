@@ -1,0 +1,81 @@
+// Package rbf implements the Radial Basis Function networks of §2.3–§2.6:
+// Gaussian basis functions with per-dimension radii (Eq. 2), centers and
+// radii derived from a regression tree (radii = α × region size, Eq. 8),
+// least-squares output weights (Eq. 1), Akaike-corrected information
+// criterion model selection (Eq. 9), and Orr's tree-ordered center subset
+// selection. Fit performs the (p_min, α) grid search of §2.6.
+package rbf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Basis is one Gaussian radial basis function
+//
+//	h(x) = exp(−Σₖ (xₖ−cₖ)²/rₖ²)
+//
+// with center c and per-dimension radius vector r (paper Eq. 2).
+type Basis struct {
+	Center []float64
+	Radius []float64
+}
+
+// Eval returns h(x).
+func (b *Basis) Eval(x []float64) float64 {
+	var s float64
+	for k, xk := range x {
+		d := (xk - b.Center[k]) / b.Radius[k]
+		s += d * d
+	}
+	return math.Exp(-s)
+}
+
+// Network is a fitted RBF network: f(x) = Σⱼ wⱼ·hⱼ(x) (paper Eq. 1).
+type Network struct {
+	Bases   []Basis
+	Weights []float64
+}
+
+// Predict evaluates the network at x.
+func (n *Network) Predict(x []float64) float64 {
+	var s float64
+	for j := range n.Bases {
+		s += n.Weights[j] * n.Bases[j].Eval(x)
+	}
+	return s
+}
+
+// PredictAll evaluates the network at each row of xs.
+func (n *Network) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = n.Predict(x)
+	}
+	return out
+}
+
+// M returns the number of basis functions (RBF centers) in the network.
+func (n *Network) M() int { return len(n.Bases) }
+
+func (n *Network) String() string {
+	return fmt.Sprintf("rbf.Network{m=%d}", len(n.Bases))
+}
+
+// AICc is Akaike's corrected information criterion (paper Eq. 9, without
+// the additive constant):
+//
+//	AICc = p·log(σ̂²) + 2m + 2m(m+1)/(p−m−1)
+//
+// where p is the sample size, m the number of centers, and σ̂² the error
+// variance on the sample. It returns +Inf when m ≥ p−1 (the correction
+// term's denominator vanishes), which also serves as the complexity cap.
+func AICc(p, m int, sigma2 float64) float64 {
+	if p-m-1 <= 0 {
+		return math.Inf(1)
+	}
+	if sigma2 < 1e-300 {
+		sigma2 = 1e-300 // a perfect fit would otherwise give −Inf
+	}
+	return float64(p)*math.Log(sigma2) + 2*float64(m) + 2*float64(m)*float64(m+1)/float64(p-m-1)
+}

@@ -1,0 +1,79 @@
+package rbf
+
+import (
+	"errors"
+	"math"
+
+	"predperf/internal/rtree"
+)
+
+// Options controls the (p_min, α) grid search of §2.6. Zero values take
+// the defaults, which bracket the best settings reported in the paper's
+// Table 4 (p_min typically 1, α typically 5–12).
+type Options struct {
+	PMinGrid  []int     // regression-tree leaf-size candidates
+	AlphaGrid []float64 // radius scale candidates (Eq. 8)
+	MinRadius float64   // numerical floor for per-dimension radii
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.PMinGrid) == 0 {
+		o.PMinGrid = []int{1, 2}
+	}
+	if len(o.AlphaGrid) == 0 {
+		o.AlphaGrid = []float64{3, 5, 7, 9, 12}
+	}
+	if o.MinRadius <= 0 {
+		o.MinRadius = 0.02
+	}
+	return o
+}
+
+// FitResult is a fitted model plus the diagnostics the paper reports in
+// Table 4: the winning method parameters, the number of selected RBF
+// centers, and the criterion value.
+type FitResult struct {
+	Net   *Network
+	Tree  *rtree.Tree
+	PMin  int
+	Alpha float64
+	AICc  float64
+	SSE   float64 // training sum of squared errors
+}
+
+// NumCenters returns the number of RBF centers in the selected model.
+func (r *FitResult) NumCenters() int { return r.Net.M() }
+
+// Predict evaluates the fitted network.
+func (r *FitResult) Predict(x []float64) float64 { return r.Net.Predict(x) }
+
+// ErrNoModel is returned when no grid combination produced a usable fit.
+var ErrNoModel = errors.New("rbf: no (p_min, alpha) combination produced a finite model")
+
+// Fit builds RBF network models on the sample (x, y) for every (p_min, α)
+// in the grid and returns the model with the lowest AICc, reproducing the
+// method-parameter optimization of §2.6. Regression trees are built once
+// per p_min and shared across α values.
+func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("rbf: sample is empty or mismatched")
+	}
+	opt = opt.withDefaults()
+	var best *FitResult
+	for _, pmin := range opt.PMinGrid {
+		tr := rtree.Build(x, y, pmin)
+		for _, alpha := range opt.AlphaGrid {
+			net, aicc, sse := FitTree(tr, x, y, alpha, opt.MinRadius)
+			if math.IsInf(aicc, 1) || net.M() == 0 {
+				continue
+			}
+			if best == nil || aicc < best.AICc {
+				best = &FitResult{Net: net, Tree: tr, PMin: pmin, Alpha: alpha, AICc: aicc, SSE: sse}
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrNoModel
+	}
+	return best, nil
+}

@@ -1,0 +1,153 @@
+package rbf
+
+import (
+	"math"
+
+	"predperf/internal/rtree"
+)
+
+// candidateBases turns every regression-tree node into a candidate basis:
+// the basis center is the node's hyper-rectangle center and the radius is
+// α times the rectangle's size (paper Eq. 8), floored at minRadius to
+// keep deep, thin regions numerically usable.
+func candidateBases(tr *rtree.Tree, alpha, minRadius float64) ([]Basis, []*rtree.Node) {
+	nodes := tr.Nodes()
+	bases := make([]Basis, len(nodes))
+	for i, n := range nodes {
+		r := n.Size()
+		for k := range r {
+			r[k] *= alpha
+			if r[k] < minRadius {
+				r[k] = minRadius
+			}
+		}
+		bases[i] = Basis{Center: n.Center(), Radius: r}
+	}
+	return bases, nodes
+}
+
+// selectTreeOrdered runs Orr's tree-ordered subset selection (§2.5): it
+// starts from the root center, then walks the tree breadth-first; at each
+// non-terminal node it tries all 8 include/exclude combinations of the
+// node's center and its two children's centers (all other selected
+// centers held fixed) and keeps the combination with the lowest AICc.
+// It returns the selected candidate indices and the final fit.
+func selectTreeOrdered(gr *gram, nodes []*rtree.Node) (sel []int, aicc, sse float64, w []float64) {
+	index := make(map[*rtree.Node]int, len(nodes))
+	for i, n := range nodes {
+		index[n] = i
+	}
+	selected := make(map[int]bool)
+	selected[0] = true // the root's center: the center of the design space
+	cur, curSSE, curW, ok := gr.aiccOf(keys(selected))
+	if !ok {
+		selected = map[int]bool{}
+		cur, curSSE, curW, _ = gr.aiccOf(nil)
+	}
+
+	queue := []*rtree.Node{nodes[0]}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.Leaf() {
+			continue
+		}
+		ni, li, ri := index[n], index[n.Left], index[n.Right]
+		bestCombo := -1
+		bestAICc, bestSSE := cur, curSSE
+		bestW := curW
+		var bestSel []int
+		for combo := 0; combo < 8; combo++ {
+			trial := cloneSet(selected)
+			setMembership(trial, ni, combo&1 != 0)
+			setMembership(trial, li, combo&2 != 0)
+			setMembership(trial, ri, combo&4 != 0)
+			if equalSets(trial, selected) {
+				continue
+			}
+			a, s, tw, ok := gr.aiccOf(keys(trial))
+			if !ok {
+				continue
+			}
+			if a < bestAICc {
+				bestAICc, bestSSE, bestW, bestCombo = a, s, tw, combo
+				bestSel = keys(trial)
+			}
+		}
+		if bestCombo >= 0 {
+			selected = map[int]bool{}
+			for _, i := range bestSel {
+				selected[i] = true
+			}
+			cur, curSSE, curW = bestAICc, bestSSE, bestW
+		}
+		queue = append(queue, n.Left, n.Right)
+	}
+	return keys(selected), cur, curSSE, curW
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func setMembership(s map[int]bool, i int, in bool) {
+	if in {
+		s[i] = true
+	} else {
+		delete(s, i)
+	}
+}
+
+func equalSets(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// keys returns the set's members in ascending order.
+func keys(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	// insertion sort: sets are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// FitTree builds the candidate set from a fitted regression tree at a
+// given α, runs subset selection, and returns the resulting network with
+// its selection criterion value and training SSE.
+func FitTree(tr *rtree.Tree, x [][]float64, y []float64, alpha, minRadius float64) (*Network, float64, float64) {
+	bases, nodes := candidateBases(tr, alpha, minRadius)
+	gr := newGram(bases, x, y)
+	sel, aicc, sse, w := selectTreeOrdered(gr, nodes)
+	net := &Network{}
+	for i, bi := range sel {
+		net.Bases = append(net.Bases, bases[bi])
+		if w != nil {
+			net.Weights = append(net.Weights, w[i])
+		}
+	}
+	if net.Weights == nil {
+		net.Weights = make([]float64, len(net.Bases))
+	}
+	if math.IsNaN(aicc) {
+		aicc = math.Inf(1)
+	}
+	return net, aicc, sse
+}

@@ -1,0 +1,257 @@
+// Package rtree implements the CART-style regression trees of §2.4: the
+// input space is recursively bifurcated along a parameter k at a value b
+// chosen to minimize the residual square error E(k,b) between the
+// partition means and the data (paper Eq. 3–7). Every node carries the
+// hyper-rectangle of design space it covers — its center and size later
+// become RBF centers and radii (§2.5).
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one region of the design space. Bounds are in the normalized
+// [0,1]^d modeling space; the root covers the whole cube.
+type Node struct {
+	Lo, Hi []float64 // hyper-rectangle bounds, inclusive
+	Index  []int     // sample indices falling in this region
+	Mean   float64   // mean response of those samples
+	SSE    float64   // Σ (y − mean)² within the region
+
+	SplitDim int     // valid when not a leaf
+	SplitVal float64 // bifurcation boundary b
+	Depth    int     // root is depth 0; its children's splits have depth 1
+
+	Left, Right *Node
+}
+
+// Leaf reports whether the node is terminal.
+func (n *Node) Leaf() bool { return n.Left == nil }
+
+// Center returns the center of the node's hyper-rectangle.
+func (n *Node) Center() []float64 {
+	c := make([]float64, len(n.Lo))
+	for i := range c {
+		c[i] = (n.Lo[i] + n.Hi[i]) / 2
+	}
+	return c
+}
+
+// Size returns the per-dimension edge lengths of the hyper-rectangle.
+func (n *Node) Size() []float64 {
+	s := make([]float64, len(n.Lo))
+	for i := range s {
+		s[i] = n.Hi[i] - n.Lo[i]
+	}
+	return s
+}
+
+// Split records one bifurcation for diagnostics (Table 5, Figure 5).
+type Split struct {
+	Dim       int     // parameter index
+	Value     float64 // boundary b in normalized coordinates
+	Depth     int     // 1 for the root split, children at parent+1
+	Reduction float64 // SSE(parent) − SSE(left) − SSE(right)
+	Order     int     // construction order (0 = first split made)
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	Root   *Node
+	Dim    int
+	Splits []Split // in construction order
+	PMin   int
+}
+
+// Build fits a regression tree on the sample (x, y). Splitting continues
+// while a node holds more than pmin points and a variance-reducing
+// bifurcation exists. x rows must share a common length; bounds of the
+// root region are the unit cube.
+func Build(x [][]float64, y []float64, pmin int) *Tree {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("rtree: %d points but %d responses", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		panic("rtree: empty sample")
+	}
+	if pmin < 1 {
+		pmin = 1
+	}
+	d := len(x[0])
+	root := &Node{Lo: make([]float64, d), Hi: make([]float64, d)}
+	for i := range root.Hi {
+		root.Hi[i] = 1
+	}
+	root.Index = make([]int, len(x))
+	for i := range root.Index {
+		root.Index[i] = i
+	}
+	root.Mean, root.SSE = meanSSE(root.Index, y)
+	t := &Tree{Root: root, Dim: d, PMin: pmin}
+	t.grow(root, x, y, 1)
+	return t
+}
+
+func meanSSE(idx []int, y []float64) (mean, sse float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// grow recursively bifurcates node (whose split would be at the given
+// depth) while it exceeds pmin points.
+func (t *Tree) grow(n *Node, x [][]float64, y []float64, depth int) {
+	if len(n.Index) <= t.PMin {
+		return
+	}
+	dim, val, red, ok := bestSplit(n.Index, x, y, n.SSE)
+	if !ok {
+		return
+	}
+	n.SplitDim, n.SplitVal, n.Depth = dim, val, depth
+	t.Splits = append(t.Splits, Split{Dim: dim, Value: val, Depth: depth, Reduction: red, Order: len(t.Splits)})
+
+	var li, ri []int
+	for _, i := range n.Index {
+		if x[i][dim] <= val {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	mkChild := func(idx []int, lo, hi []float64) *Node {
+		c := &Node{Lo: lo, Hi: hi, Index: idx}
+		c.Mean, c.SSE = meanSSE(idx, y)
+		return c
+	}
+	llo, lhi := cloneBounds(n.Lo), cloneBounds(n.Hi)
+	lhi[dim] = val
+	rlo, rhi := cloneBounds(n.Lo), cloneBounds(n.Hi)
+	rlo[dim] = val
+	n.Left = mkChild(li, llo, lhi)
+	n.Right = mkChild(ri, rlo, rhi)
+	t.grow(n.Left, x, y, depth+1)
+	t.grow(n.Right, x, y, depth+1)
+}
+
+func cloneBounds(b []float64) []float64 {
+	c := make([]float64, len(b))
+	copy(c, b)
+	return c
+}
+
+// bestSplit scans every dimension and every boundary between adjacent
+// distinct sorted values, returning the bifurcation minimising E(k,b)
+// (equivalently, maximising the SSE reduction). ok is false when no
+// dimension admits a split (all coordinates tied) or no split reduces
+// the error.
+func bestSplit(idx []int, x [][]float64, y []float64, parentSSE float64) (dim int, val float64, reduction float64, ok bool) {
+	p := len(idx)
+	type pv struct{ v, y float64 }
+	vals := make([]pv, p)
+	best := math.Inf(1)
+	for k := 0; k < len(x[idx[0]]); k++ {
+		for j, i := range idx {
+			vals[j] = pv{x[i][k], y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		// Prefix sums of y and y² over the sorted order let us evaluate
+		// E(k,b) for every boundary in O(p).
+		var sumL, sqL float64
+		var sumT, sqT float64
+		for _, e := range vals {
+			sumT += e.y
+			sqT += e.y * e.y
+		}
+		for j := 0; j < p-1; j++ {
+			sumL += vals[j].y
+			sqL += vals[j].y * vals[j].y
+			if vals[j].v == vals[j+1].v {
+				continue // boundary must separate distinct values
+			}
+			nl, nr := float64(j+1), float64(p-j-1)
+			sseL := sqL - sumL*sumL/nl
+			sumR, sqR := sumT-sumL, sqT-sqL
+			sseR := sqR - sumR*sumR/nr
+			e := sseL + sseR
+			if e < best {
+				best = e
+				dim = k
+				val = (vals[j].v + vals[j+1].v) / 2
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, 0, 0, false
+	}
+	reduction = parentSSE - best
+	if reduction <= 1e-15 {
+		return 0, 0, 0, false
+	}
+	return dim, val, reduction, true
+}
+
+// Predict returns the mean response of the leaf containing x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.Leaf() {
+		if x[n.SplitDim] <= n.SplitVal {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Mean
+}
+
+// Nodes returns all nodes in breadth-first order (root first). This is
+// the center-consideration order used by the RBF subset selection.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		if !n.Leaf() {
+			queue = append(queue, n.Left, n.Right)
+		}
+	}
+	return out
+}
+
+// Leaves returns the terminal nodes in breadth-first order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes() {
+		if n.Leaf() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopSplits returns up to n splits ordered the way the paper presents
+// Table 5: shallower first, larger error reduction first within a depth.
+func (t *Tree) TopSplits(n int) []Split {
+	s := make([]Split, len(t.Splits))
+	copy(s, t.Splits)
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].Depth != s[b].Depth {
+			return s[a].Depth < s[b].Depth
+		}
+		return s[a].Reduction > s[b].Reduction
+	})
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}

@@ -1,0 +1,259 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleSplitOnStepFunction(t *testing.T) {
+	// y = 0 for x<0.5, 10 for x>0.5 in dim 0; dim 1 is noise-free junk.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 16; i++ {
+		v := float64(i) / 15
+		x = append(x, []float64{v, float64(i%4) / 3})
+		if v < 0.5 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	tr := Build(x, y, 8)
+	if len(tr.Splits) == 0 {
+		t.Fatal("no splits made")
+	}
+	first := tr.Splits[0]
+	if first.Dim != 0 {
+		t.Fatalf("first split on dim %d, want 0", first.Dim)
+	}
+	if first.Value < 7.0/15 || first.Value > 8.0/15 {
+		t.Fatalf("first split at %v, want near 0.5", first.Value)
+	}
+	if first.Depth != 1 {
+		t.Fatalf("first split depth = %d, want 1", first.Depth)
+	}
+}
+
+func TestPMinStopsSplitting(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 64; i++ {
+		pt := []float64{rng.Float64(), rng.Float64()}
+		x = append(x, pt)
+		y = append(y, pt[0]*pt[0]+rng.NormFloat64()*0.01)
+	}
+	for _, pmin := range []int{1, 4, 16} {
+		tr := Build(x, y, pmin)
+		for _, leaf := range tr.Leaves() {
+			if len(leaf.Index) > pmin {
+				// A leaf may exceed pmin only if it admits no
+				// error-reducing split; with continuous noise that is
+				// effectively impossible for pmin >= 1.
+				t.Fatalf("pmin=%d: leaf with %d points", pmin, len(leaf.Index))
+			}
+		}
+	}
+}
+
+func TestPartitionIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, rng.Float64())
+	}
+	tr := Build(x, y, 5)
+	// Every sample appears in exactly one leaf.
+	seen := map[int]int{}
+	for _, leaf := range tr.Leaves() {
+		for _, i := range leaf.Index {
+			seen[i]++
+		}
+	}
+	if len(seen) != len(x) {
+		t.Fatalf("%d of %d samples in leaves", len(seen), len(x))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d in %d leaves", i, c)
+		}
+	}
+}
+
+func TestChildBoundsPartitionParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, x[i][0]+2*x[i][1])
+	}
+	tr := Build(x, y, 2)
+	for _, n := range tr.Nodes() {
+		if n.Leaf() {
+			continue
+		}
+		d := n.SplitDim
+		if n.Left.Hi[d] != n.SplitVal || n.Right.Lo[d] != n.SplitVal {
+			t.Fatal("child bounds do not meet at the split value")
+		}
+		for k := range n.Lo {
+			if k == d {
+				continue
+			}
+			if n.Left.Lo[k] != n.Lo[k] || n.Left.Hi[k] != n.Hi[k] ||
+				n.Right.Lo[k] != n.Lo[k] || n.Right.Hi[k] != n.Hi[k] {
+				t.Fatal("non-split dimensions changed in children")
+			}
+		}
+	}
+}
+
+func TestPredictReproducesPiecewiseConstant(t *testing.T) {
+	// With pmin=1 and distinct x, the tree interpolates training points.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, rng.Float64()*5)
+	}
+	tr := Build(x, y, 1)
+	for i := range x {
+		if got := tr.Predict(x[i]); math.Abs(got-y[i]) > 1e-12 {
+			t.Fatalf("Predict(train[%d]) = %v, want %v", i, got, y[i])
+		}
+	}
+}
+
+func TestConstantResponseMakesNoSplits(t *testing.T) {
+	x := [][]float64{{0.1, 0.2}, {0.5, 0.7}, {0.9, 0.3}, {0.4, 0.8}}
+	y := []float64{2, 2, 2, 2}
+	tr := Build(x, y, 1)
+	if len(tr.Splits) != 0 {
+		t.Fatalf("made %d splits on constant data", len(tr.Splits))
+	}
+	if !tr.Root.Leaf() || tr.Root.Mean != 2 {
+		t.Fatal("root should be a leaf with mean 2")
+	}
+}
+
+func TestDuplicatePointsDoNotLoop(t *testing.T) {
+	x := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	y := []float64{1, 2, 3}
+	tr := Build(x, y, 1) // cannot separate duplicates; must terminate
+	if !tr.Root.Leaf() {
+		t.Fatal("expected a single leaf for coincident points")
+	}
+}
+
+func TestSplitReductionsMatchSSEAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, math.Sin(6*x[i][0])+x[i][1])
+	}
+	tr := Build(x, y, 4)
+	for _, n := range tr.Nodes() {
+		if n.Leaf() {
+			continue
+		}
+		red := n.SSE - n.Left.SSE - n.Right.SSE
+		// find the recorded split for this node
+		found := false
+		for _, s := range tr.Splits {
+			if s.Dim == n.SplitDim && s.Value == n.SplitVal && s.Depth == n.Depth {
+				if math.Abs(s.Reduction-red) > 1e-9*(1+math.Abs(red)) {
+					t.Fatalf("recorded reduction %v, recomputed %v", s.Reduction, red)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("split not recorded")
+		}
+	}
+}
+
+func TestTopSplitsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, 5*x[i][0]+x[i][1]*x[i][2])
+	}
+	tr := Build(x, y, 2)
+	top := tr.TopSplits(8)
+	for i := 1; i < len(top); i++ {
+		if top[i].Depth < top[i-1].Depth {
+			t.Fatal("TopSplits not ordered by depth")
+		}
+		if top[i].Depth == top[i-1].Depth && top[i].Reduction > top[i-1].Reduction+1e-12 {
+			t.Fatal("TopSplits not ordered by reduction within a depth")
+		}
+	}
+}
+
+// Property: the mean of each node equals the weighted mean of its
+// children (Eq. 5/6 consistency), on random data.
+func TestQuickNodeMeansConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(rng.Int31n(60))
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64()
+		}
+		tr := Build(x, y, 1+int(rng.Int31n(4)))
+		for _, nd := range tr.Nodes() {
+			if nd.Leaf() {
+				continue
+			}
+			pl := float64(len(nd.Left.Index))
+			pr := float64(len(nd.Right.Index))
+			m := (pl*nd.Left.Mean + pr*nd.Right.Mean) / (pl + pr)
+			if math.Abs(m-nd.Mean) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deeper trees (smaller pmin) never have larger total leaf SSE.
+func TestQuickDeeperTreesFitBetter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = math.Sin(5*x[i][0]) + rng.NormFloat64()*0.1
+		}
+		sse := func(pmin int) float64 {
+			var s float64
+			for _, leaf := range Build(x, y, pmin).Leaves() {
+				s += leaf.SSE
+			}
+			return s
+		}
+		return sse(1) <= sse(4)+1e-9 && sse(4) <= sse(16)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

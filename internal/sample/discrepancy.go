@@ -1,0 +1,91 @@
+package sample
+
+import (
+	"math"
+
+	"predperf/internal/design"
+)
+
+// StarDiscrepancy returns the L2-star discrepancy of a point set in
+// [0,1]^d, computed with Warnock's closed form:
+//
+//	D² = 3⁻ᵈ − (2/N)·Σᵢ Πₖ (1 − xᵢₖ²)/2 + (1/N²)·ΣᵢΣⱼ Πₖ (1 − max(xᵢₖ, xⱼₖ))
+//
+// Lower is better (a perfectly uniform distribution approaches 0). The
+// returned value is the discrepancy D itself, not D².
+func StarDiscrepancy(pts []design.Point) float64 {
+	n := len(pts)
+	if n == 0 {
+		return math.NaN()
+	}
+	d := len(pts[0])
+	term1 := math.Pow(1.0/3.0, float64(d))
+	var term2 float64
+	for _, x := range pts {
+		prod := 1.0
+		for _, xk := range x {
+			prod *= (1 - xk*xk) / 2
+		}
+		term2 += prod
+	}
+	term2 *= 2.0 / float64(n)
+	var term3 float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prod := 1.0
+			for k := 0; k < d; k++ {
+				prod *= 1 - math.Max(pts[i][k], pts[j][k])
+			}
+			term3 += prod
+		}
+	}
+	term3 /= float64(n) * float64(n)
+	d2 := term1 - term2 + term3
+	if d2 < 0 {
+		d2 = 0 // guard against rounding for near-uniform sets
+	}
+	return math.Sqrt(d2)
+}
+
+// CenteredDiscrepancy returns Hickernell's centered L2 discrepancy (CD₂),
+// an alternative space-filling measure that is invariant under reflection
+// about coordinate mid-planes:
+//
+//	CD² = (13/12)ᵈ − (2/N)·Σᵢ Πₖ (1 + ½|xᵢₖ−½| − ½|xᵢₖ−½|²)
+//	      + (1/N²)·ΣᵢΣⱼ Πₖ (1 + ½|xᵢₖ−½| + ½|xⱼₖ−½| − ½|xᵢₖ−xⱼₖ|)
+func CenteredDiscrepancy(pts []design.Point) float64 {
+	n := len(pts)
+	if n == 0 {
+		return math.NaN()
+	}
+	d := len(pts[0])
+	term1 := math.Pow(13.0/12.0, float64(d))
+	var term2 float64
+	for _, x := range pts {
+		prod := 1.0
+		for _, xk := range x {
+			a := math.Abs(xk - 0.5)
+			prod *= 1 + 0.5*a - 0.5*a*a
+		}
+		term2 += prod
+	}
+	term2 *= 2.0 / float64(n)
+	var term3 float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prod := 1.0
+			for k := 0; k < d; k++ {
+				ai := math.Abs(pts[i][k] - 0.5)
+				aj := math.Abs(pts[j][k] - 0.5)
+				prod *= 1 + 0.5*ai + 0.5*aj - 0.5*math.Abs(pts[i][k]-pts[j][k])
+			}
+			term3 += prod
+		}
+	}
+	term3 /= float64(n) * float64(n)
+	d2 := term1 - term2 + term3
+	if d2 < 0 {
+		d2 = 0
+	}
+	return math.Sqrt(d2)
+}

@@ -1,0 +1,51 @@
+package sample
+
+import (
+	"predperf/internal/design"
+)
+
+// first primes used as radical-inverse bases for the Hammersley set.
+var primes = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+
+// radicalInverse reflects the base-b digits of i about the radix point
+// (the van der Corput sequence), with the Vandewoestyne–Cools reverse
+// digit scrambling (0→0, d→b−d) that breaks the diagonal correlations
+// plain Halton sequences develop between large-base dimensions.
+func radicalInverse(i, b uint64) float64 {
+	var inv float64
+	f := 1.0 / float64(b)
+	for i > 0 {
+		d := i % b
+		if d != 0 {
+			d = b - d
+		}
+		inv += f * float64(d)
+		i /= b
+		f /= float64(b)
+	}
+	return inv
+}
+
+// Hammersley returns the n-point Hammersley set in the space's unit
+// cube, snapped to each parameter's levels: the first coordinate is the
+// stratified sequence i/n and the remaining coordinates are van der
+// Corput sequences in successive prime bases. It is a deterministic
+// low-discrepancy alternative to latin hypercube sampling (no draws to
+// optimize over), provided for the sampling-strategy comparison.
+// Spaces with more than 15 dimensions are not supported and return nil.
+func Hammersley(space *design.Space, n int) []design.Point {
+	d := space.N()
+	if d-1 > len(primes) || n <= 0 {
+		return nil
+	}
+	pts := make([]design.Point, n)
+	for i := 0; i < n; i++ {
+		pt := make(design.Point, d)
+		pt[0] = space.Params[0].Quantize((float64(i)+0.5)/float64(n), n)
+		for k := 1; k < d; k++ {
+			pt[k] = space.Params[k].Quantize(radicalInverse(uint64(i)+1, primes[k-1]), n)
+		}
+		pts[i] = pt
+	}
+	return pts
+}

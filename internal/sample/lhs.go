@@ -1,0 +1,97 @@
+// Package sample implements the design-point selection machinery of the
+// paper: the latin-hypercube-sampling variant of §2.2 (every setting of
+// every parameter is represented in the sample), the L2-star discrepancy
+// used to score candidate samples (Hickernell / Warnock), best-of-K
+// candidate selection, and independent uniform random test sampling.
+package sample
+
+import (
+	"math/rand"
+
+	"predperf/internal/design"
+)
+
+// LHS draws one latin hypercube sample of n points from the given space
+// using the paper's variant: a parameter with a fixed number of levels L
+// contributes each of its L settings ⌈n/L⌉ or ⌊n/L⌋ times (so all
+// settings appear), while a sample-size-dependent parameter is stratified
+// into n strata with one point per stratum. Strata/levels are combined by
+// independent random permutation per dimension.
+//
+// Coordinates are normalized to [0,1] and already snapped to their
+// parameter's levels, so decoding them does not move the points.
+func LHS(space *design.Space, n int, rng *rand.Rand) []design.Point {
+	if n <= 0 {
+		return nil
+	}
+	d := space.N()
+	cols := make([][]float64, d)
+	for k, p := range space.Params {
+		L := p.LevelCount(n)
+		col := make([]float64, n)
+		if p.Levels == design.SampleSizeLevels {
+			// One point per stratum, jittered within the stratum, then
+			// snapped to the parameter's n-level grid.
+			for i := 0; i < n; i++ {
+				t := (float64(i) + rng.Float64()) / float64(n)
+				col[i] = p.Quantize(t, n)
+			}
+		} else {
+			// Cycle the L settings so each appears n/L times (±1).
+			for i := 0; i < n; i++ {
+				lvl := i % L
+				t := 0.5
+				if L > 1 {
+					t = float64(lvl) / float64(L-1)
+				}
+				col[i] = t
+			}
+		}
+		rng.Shuffle(n, func(i, j int) { col[i], col[j] = col[j], col[i] })
+		cols[k] = col
+	}
+	pts := make([]design.Point, n)
+	for i := 0; i < n; i++ {
+		pt := make(design.Point, d)
+		for k := 0; k < d; k++ {
+			pt[k] = cols[k][i]
+		}
+		pts[i] = pt
+	}
+	return pts
+}
+
+// BestLHS generates candidates latin hypercube samples and returns the
+// one with the lowest L2-star discrepancy, together with that
+// discrepancy. candidates < 1 is treated as 1.
+func BestLHS(space *design.Space, n, candidates int, rng *rand.Rand) ([]design.Point, float64) {
+	if candidates < 1 {
+		candidates = 1
+	}
+	var best []design.Point
+	bestD := 0.0
+	for c := 0; c < candidates; c++ {
+		s := LHS(space, n, rng)
+		d := StarDiscrepancy(s)
+		if best == nil || d < bestD {
+			best, bestD = s, d
+		}
+	}
+	return best, bestD
+}
+
+// UniformRandom draws n independent uniform points from the space,
+// snapped to each parameter's levels. This is both the paper's test-set
+// generator (drawn from the restricted Table 2 space) and the baseline
+// sampling strategy that LHS is compared against.
+func UniformRandom(space *design.Space, n int, rng *rand.Rand) []design.Point {
+	pts := make([]design.Point, n)
+	for i := range pts {
+		pt := make(design.Point, space.N())
+		for k, p := range space.Params {
+			pt[k] = p.Quantize(rng.Float64(), n)
+		}
+		pts[i] = pt
+	}
+	return pts
+}

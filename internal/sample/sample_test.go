@@ -1,0 +1,265 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predperf/internal/design"
+)
+
+func TestLHSCoversAllFixedLevels(t *testing.T) {
+	space := design.PaperSpace()
+	rng := rand.New(rand.NewSource(1))
+	n := 48
+	pts := LHS(space, n, rng)
+	if len(pts) != n {
+		t.Fatalf("LHS returned %d points, want %d", len(pts), n)
+	}
+	// Every fixed-level parameter must have all its settings present.
+	for k, p := range space.Params {
+		if p.Levels == design.SampleSizeLevels {
+			continue
+		}
+		L := p.LevelCount(n)
+		seen := map[int]int{}
+		for _, pt := range pts {
+			lvl := int(math.Round(pt[k] * float64(L-1)))
+			seen[lvl]++
+		}
+		if len(seen) != L {
+			t.Fatalf("param %s: only %d of %d levels represented", p.Name, len(seen), L)
+		}
+		// Balanced within ±1 occurrence.
+		min, max := n, 0
+		for _, c := range seen {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("param %s: unbalanced level counts %v", p.Name, seen)
+		}
+	}
+}
+
+func TestLHSStratifiesContinuousDims(t *testing.T) {
+	space := design.PaperSpace()
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	pts := LHS(space, n, rng)
+	k := space.Index(design.ROBSize)
+	// One point per stratum: sorted coordinates must be near-distinct and
+	// spread across [0,1] (each stratum of width 1/n holds one point,
+	// up to the snapping of the n-level grid).
+	vals := make([]float64, n)
+	for i, pt := range pts {
+		vals[i] = pt[k]
+	}
+	var lo, hi int
+	for _, v := range vals {
+		if v < 0.25 {
+			lo++
+		}
+		if v > 0.75 {
+			hi++
+		}
+	}
+	if lo < n/8 || hi < n/8 {
+		t.Fatalf("ROB coordinate poorly stratified: %d low, %d high of %d", lo, hi, n)
+	}
+}
+
+func TestLHSDeterministicGivenSeed(t *testing.T) {
+	space := design.PaperSpace()
+	a := LHS(space, 20, rand.New(rand.NewSource(42)))
+	b := LHS(space, 20, rand.New(rand.NewSource(42)))
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatal("LHS not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestStarDiscrepancyKnownValues(t *testing.T) {
+	// Single point at the origin in 1-D:
+	// D² = 1/3 − 2·(1−0)/2 + (1−0) = 1/3 → D = 1/√3.
+	d := StarDiscrepancy([]design.Point{{0}})
+	if math.Abs(d-1/math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("D(origin) = %v, want %v", d, 1/math.Sqrt(3))
+	}
+	// Single point at x: D² = 1/3 − (1−x²) + (1−x). Minimum at x=0.5:
+	// D² = 1/3 − 0.75 + 0.5 = 1/12.
+	d = StarDiscrepancy([]design.Point{{0.5}})
+	if math.Abs(d-math.Sqrt(1.0/12.0)) > 1e-12 {
+		t.Fatalf("D(0.5) = %v, want %v", d, math.Sqrt(1.0/12.0))
+	}
+}
+
+func TestDiscrepancyDecreasesWithDenserGrids(t *testing.T) {
+	// Regular 1-D grids of increasing size must have decreasing D.
+	prev := math.Inf(1)
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		pts := make([]design.Point, n)
+		for i := range pts {
+			pts[i] = design.Point{(float64(i) + 0.5) / float64(n)}
+		}
+		d := StarDiscrepancy(pts)
+		if d >= prev {
+			t.Fatalf("discrepancy did not decrease at n=%d: %v >= %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLHSBeatsRandomOnDiscrepancy(t *testing.T) {
+	space := design.PaperSpace()
+	rng := rand.New(rand.NewSource(3))
+	n, trials := 50, 12
+	var lhsSum, rndSum float64
+	for i := 0; i < trials; i++ {
+		lhsSum += StarDiscrepancy(LHS(space, n, rng))
+		rndSum += StarDiscrepancy(UniformRandom(space, n, rng))
+	}
+	if lhsSum >= rndSum {
+		t.Fatalf("LHS mean discrepancy %v not better than random %v", lhsSum/float64(trials), rndSum/float64(trials))
+	}
+}
+
+func TestBestLHSImprovesOnSingleDraw(t *testing.T) {
+	space := design.PaperSpace()
+	n := 40
+	_, dBest := BestLHS(space, n, 20, rand.New(rand.NewSource(5)))
+	// Average single-draw discrepancy over a few seeds.
+	var sum float64
+	const trials = 10
+	for i := int64(0); i < trials; i++ {
+		sum += StarDiscrepancy(LHS(space, n, rand.New(rand.NewSource(100+i))))
+	}
+	if dBest >= sum/trials {
+		t.Fatalf("best-of-20 discrepancy %v not better than mean single draw %v", dBest, sum/trials)
+	}
+}
+
+func TestQuickDiscrepancyPositiveAndFinite(t *testing.T) {
+	space := design.PaperSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := LHS(space, 10+int(rng.Int31n(40)), rng)
+		d := StarDiscrepancy(pts)
+		c := CenteredDiscrepancy(pts)
+		return d > 0 && !math.IsNaN(d) && !math.IsInf(d, 0) && c > 0 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenteredDiscrepancyReflectionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]design.Point, 20)
+	ref := make([]design.Point, 20)
+	for i := range pts {
+		p := design.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		pts[i] = p
+		ref[i] = design.Point{1 - p[0], p[1], p[2]} // reflect dim 0 about 1/2
+	}
+	a, b := CenteredDiscrepancy(pts), CenteredDiscrepancy(ref)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("CD not reflection invariant: %v vs %v", a, b)
+	}
+}
+
+func TestUniformRandomInBounds(t *testing.T) {
+	space := design.TestSpace()
+	pts := UniformRandom(space, 50, rand.New(rand.NewSource(11)))
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		for _, v := range pt {
+			if v < 0 || v > 1 {
+				t.Fatalf("coordinate %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestLHSEdgeCases(t *testing.T) {
+	space := design.PaperSpace()
+	rng := rand.New(rand.NewSource(1))
+	if got := LHS(space, 0, rng); got != nil {
+		t.Fatalf("LHS(0) = %v, want nil", got)
+	}
+	one := LHS(space, 1, rng)
+	if len(one) != 1 || len(one[0]) != space.N() {
+		t.Fatalf("LHS(1) malformed: %v", one)
+	}
+}
+
+func TestRadicalInverseKnownValues(t *testing.T) {
+	// Base 2: 1 → 0.5, 2 → 0.25, 3 → 0.75, 4 → 0.125.
+	cases := []struct {
+		i    uint64
+		want float64
+	}{{1, 0.5}, {2, 0.25}, {3, 0.75}, {4, 0.125}}
+	for _, c := range cases {
+		if got := radicalInverse(c.i, 2); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("radicalInverse(%d,2) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	// Base 3 with reverse scrambling (0→0, 1→2, 2→1): i=3 has digits
+	// (0,1) → scrambled (0,2) → 0/3 + 2/9 = 2/9.
+	if got := radicalInverse(3, 3); math.Abs(got-2.0/9) > 1e-12 {
+		t.Fatalf("radicalInverse(3,3) = %v", got)
+	}
+}
+
+func TestHammersleyWellFormed(t *testing.T) {
+	space := design.PaperSpace()
+	pts := Hammersley(space, 60)
+	if len(pts) != 60 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if len(pt) != space.N() {
+			t.Fatal("wrong dimensionality")
+		}
+		for _, v := range pt {
+			if v < 0 || v > 1 {
+				t.Fatalf("coordinate %v out of range", v)
+			}
+		}
+	}
+	// Deterministic.
+	again := Hammersley(space, 60)
+	for i := range pts {
+		for k := range pts[i] {
+			if pts[i][k] != again[i][k] {
+				t.Fatal("Hammersley not deterministic")
+			}
+		}
+	}
+}
+
+func TestHammersleyCompetitiveDiscrepancy(t *testing.T) {
+	// The Hammersley set must beat the *average* single random draw on
+	// star discrepancy (it is a classic low-discrepancy construction).
+	space := design.PaperSpace()
+	n := 60
+	h := StarDiscrepancy(Hammersley(space, n))
+	var rndSum float64
+	const trials = 8
+	for i := int64(0); i < trials; i++ {
+		rndSum += StarDiscrepancy(UniformRandom(space, n, rand.New(rand.NewSource(200+i))))
+	}
+	if h >= rndSum/trials {
+		t.Fatalf("Hammersley discrepancy %v not below mean random %v", h, rndSum/trials)
+	}
+}

@@ -1,0 +1,130 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+)
+
+// truth is a known response whose minimum over the grid we can compute
+// directly.
+func truth(c design.Config) float64 {
+	return 1 +
+		0.4*float64(c.PipeDepth)/24 +
+		20/float64(c.ROBSize) +
+		1.2*math.Exp(-float64(c.L2SizeKB)/1200)*float64(c.L2Lat)/20 +
+		0.1*float64(c.DL1Lat)
+}
+
+// slightly biased model: truth plus a small smooth perturbation, so the
+// model ranking is imperfect but close.
+type biasedModel struct{}
+
+func (biasedModel) PredictConfig(c design.Config) float64 {
+	return truth(c) * (1 + 0.02*math.Sin(float64(c.ROBSize)))
+}
+
+func TestMinimizeFindsNearOptimal(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	res, err := Minimize(biasedModel{}, ev, Options{GridLevels: 3, Shortlist: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive truth minimum over the same grid.
+	best := math.Inf(1)
+	for _, cfg := range EnumerateGrid(nil, 3) {
+		if v := truth(cfg); v < best {
+			best = v
+		}
+	}
+	if res.BestValue > best*1.02 {
+		t.Fatalf("search best %v, exhaustive best %v", res.BestValue, best)
+	}
+	if res.Verified != 6 {
+		t.Fatalf("verified %d, want 6", res.Verified)
+	}
+	if res.Evaluated < 1000 {
+		t.Fatalf("evaluated only %d candidates", res.Evaluated)
+	}
+	// Shortlist sorted by actual.
+	for i := 1; i < len(res.Shortlist); i++ {
+		if res.Shortlist[i].Actual < res.Shortlist[i-1].Actual {
+			t.Fatal("shortlist not sorted by simulated value")
+		}
+	}
+	// Best is the simulated-best of the shortlist.
+	if res.BestValue != res.Shortlist[0].Actual {
+		t.Fatal("Best disagrees with shortlist head")
+	}
+}
+
+func TestMinimizeRespectsConstraint(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	res, err := Minimize(biasedModel{}, ev, Options{
+		GridLevels: 3,
+		Constraint: func(c design.Config) bool { return c.L2SizeKB <= 1024 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Shortlist {
+		if c.Config.L2SizeKB > 1024 {
+			t.Fatalf("constraint violated: %v", c.Config)
+		}
+	}
+}
+
+func TestMinimizeInfeasible(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	_, err := Minimize(biasedModel{}, ev, Options{
+		GridLevels: 2,
+		Constraint: func(design.Config) bool { return false },
+	})
+	if err == nil {
+		t.Fatal("expected error when nothing is feasible")
+	}
+}
+
+func TestMinimizeExplicitCandidates(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	cands := []design.Config{
+		{PipeDepth: 24, ROBSize: 24, IQSize: 12, LSQSize: 12, L2SizeKB: 256, L2Lat: 20, IL1SizeKB: 8, DL1SizeKB: 8, DL1Lat: 4},
+		{PipeDepth: 7, ROBSize: 128, IQSize: 64, LSQSize: 64, L2SizeKB: 8192, L2Lat: 5, IL1SizeKB: 64, DL1SizeKB: 64, DL1Lat: 1},
+	}
+	res, err := Minimize(biasedModel{}, ev, Options{Candidates: cands, Shortlist: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != cands[1] {
+		t.Fatalf("best = %v, want the high-end config", res.Best)
+	}
+}
+
+func TestEnumerateGridDedupes(t *testing.T) {
+	cfgs := EnumerateGrid(nil, 3)
+	if len(cfgs) == 0 {
+		t.Fatal("empty grid")
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[k] = true
+	}
+	// Sanity: all within the paper ranges.
+	for _, c := range cfgs {
+		if c.PipeDepth < 7 || c.PipeDepth > 24 || c.ROBSize < 24 || c.ROBSize > 128 {
+			t.Fatalf("out-of-range config %v", c)
+		}
+	}
+}
+
+func TestMinimizeNilArgs(t *testing.T) {
+	if _, err := Minimize(nil, nil, Options{}); err == nil {
+		t.Fatal("expected error for nil model/evaluator")
+	}
+}

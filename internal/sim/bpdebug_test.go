@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"predperf/internal/sim/branch"
+	"predperf/internal/trace"
+)
+
+// TestBPOracle measures in-order predictor accuracy on the raw branch
+// streams; it documents that the tournament predictor reaches realistic
+// accuracies on the synthetic workloads.
+func TestBPOracle(t *testing.T) {
+	for _, name := range trace.Names() {
+		tr, _ := trace.Cached(name, 100000)
+		p := branch.New(branch.Config{})
+		correct, total := 0, 0
+		for _, in := range tr {
+			if in.Op != trace.Branch {
+				continue
+			}
+			pred, cp := p.PredictDirection(in.PC)
+			if pred == in.Taken {
+				correct++
+			} else {
+				p.Restore(in.PC, cp, in.Taken)
+			}
+			p.Update(in.PC, cp, in.Taken)
+			total++
+		}
+		acc := float64(correct) / float64(total)
+		if testing.Verbose() {
+			fmt.Printf("%-8s oracle in-order accuracy: %.3f (%d branches)\n", name, acc, total)
+		}
+		if acc < 0.70 {
+			t.Errorf("%s: predictor accuracy %.3f below 0.70", name, acc)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// train runs predict/update cycles for a single branch with the given
+// outcome sequence and returns the number of correct predictions.
+func train(p *Predictor, pc uint64, outcomes []bool) int {
+	correct := 0
+	for _, actual := range outcomes {
+		pred, cp := p.PredictDirection(pc)
+		if pred == actual {
+			correct++
+		} else {
+			p.RecordMispredict()
+			p.Restore(pc, cp, actual)
+		}
+		p.Update(pc, cp, actual)
+	}
+	return correct
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(Config{})
+	outcomes := make([]bool, 500)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if correct := train(p, 0x400000, outcomes); correct < 470 {
+		t.Fatalf("always-taken accuracy %d/500", correct)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// T,N,T,N... is perfectly predictable from local history.
+	p := New(Config{})
+	outcomes := make([]bool, 400)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if correct := train(p, 0x400100, outcomes); correct < 360 {
+		t.Fatalf("alternating accuracy %d/400", correct)
+	}
+}
+
+func TestLearnsLongerPeriodicPattern(t *testing.T) {
+	// Period-5 run pattern TTTNN: local history (10 bits) captures it.
+	p := New(Config{})
+	outcomes := make([]bool, 1000)
+	for i := range outcomes {
+		outcomes[i] = i%5 < 3
+	}
+	if correct := train(p, 0x400140, outcomes); correct < 900 {
+		t.Fatalf("period-5 accuracy %d/1000", correct)
+	}
+}
+
+func TestRandomBranchNearChanceOrBetter(t *testing.T) {
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(1))
+	outcomes := make([]bool, 2000)
+	for i := range outcomes {
+		outcomes[i] = rng.Intn(2) == 0
+	}
+	correct := train(p, 0x400200, outcomes)
+	frac := float64(correct) / float64(len(outcomes))
+	if frac < 0.3 {
+		t.Fatalf("random-branch accuracy %v below chance region", frac)
+	}
+}
+
+func TestBiasedBranchTracksBias(t *testing.T) {
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(2))
+	outcomes := make([]bool, 2000)
+	for i := range outcomes {
+		outcomes[i] = rng.Float64() < 0.9
+	}
+	if correct := train(p, 0x400300, outcomes); float64(correct)/float64(len(outcomes)) < 0.8 {
+		t.Fatalf("90%%-biased accuracy %d/2000 too low", correct)
+	}
+}
+
+func TestPeriodicPatternRobustToGlobalNoise(t *testing.T) {
+	// Interleave a periodic branch with many random branches: the local
+	// component must keep the periodic branch predictable.
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+	correct, total := 0, 0
+	phase := 0
+	for i := 0; i < 4000; i++ {
+		// Noise branch at a rotating PC.
+		npc := 0x500000 + uint64(rng.Intn(64))*4
+		actual := rng.Intn(2) == 0
+		pred, cp := p.PredictDirection(npc)
+		if pred != actual {
+			p.Restore(npc, cp, actual)
+		}
+		p.Update(npc, cp, actual)
+
+		// Periodic branch of interest: TTN repeating.
+		actual = phase%3 < 2
+		phase++
+		pred, cp = p.PredictDirection(0x400400)
+		if pred == actual {
+			correct++
+		} else {
+			p.Restore(0x400400, cp, actual)
+		}
+		p.Update(0x400400, cp, actual)
+		total++
+	}
+	if frac := float64(correct) / float64(total); frac < 0.85 {
+		t.Fatalf("periodic-under-noise accuracy %v", frac)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(Config{})
+	if _, ok := p.PredictTarget(0x400000); ok {
+		t.Fatal("cold BTB hit")
+	}
+	p.UpdateTarget(0x400000, 0x400800)
+	tgt, ok := p.PredictTarget(0x400000)
+	if !ok || tgt != 0x400800 {
+		t.Fatalf("BTB = (%#x,%v), want (0x400800,true)", tgt, ok)
+	}
+	conflict := 0x400000 + uint64(len(p.btb))*4
+	if _, ok := p.PredictTarget(conflict); ok {
+		t.Fatal("conflicting PC hit with wrong tag")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(Config{RASEntries: 4})
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if got := p.PopRAS(); got != 0x200 {
+		t.Fatalf("PopRAS = %#x, want 0x200", got)
+	}
+	if got := p.PopRAS(); got != 0x100 {
+		t.Fatalf("PopRAS = %#x, want 0x100", got)
+	}
+}
+
+func TestCheckpointRestoreRepairsHistory(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 5; i++ {
+		pc := 0x400000 + uint64(i*4)
+		_, cp := p.PredictDirection(pc)
+		p.Update(pc, cp, true)
+		p.Restore(pc, cp, true)
+	}
+	// A wrong prediction followed by Restore must leave the local
+	// history at checkpoint<<1|actual.
+	_, cp := p.PredictDirection(0x400400)
+	p.Restore(0x400400, cp, false)
+	lRow := (uint64(0x400400) >> 2) & p.lhtMask
+	if p.lht[lRow] != cp.LocalHist<<1 {
+		t.Fatalf("restored local history %#x, want %#x", p.lht[lRow], cp.LocalHist<<1)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(Config{})
+	p.PredictDirection(0x10)
+	p.PredictDirection(0x20)
+	p.RecordMispredict()
+	if p.Stats.Lookups != 2 || p.Stats.DirMispredicts != 1 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+	if p.Stats.MispredictRate() != 0.5 {
+		t.Fatalf("rate = %v", p.Stats.MispredictRate())
+	}
+}
+
+func TestDistinctBranchesDoNotAliasBadly(t *testing.T) {
+	p := New(Config{})
+	a, b := uint64(0x400000), uint64(0x500000)
+	correctA, correctB := 0, 0
+	for i := 0; i < 200; i++ {
+		pred, cp := p.PredictDirection(a)
+		if pred {
+			correctA++
+		} else {
+			p.Restore(a, cp, true)
+		}
+		p.Update(a, cp, true)
+
+		pred, cp = p.PredictDirection(b)
+		if !pred {
+			correctB++
+		} else {
+			p.Restore(b, cp, false)
+		}
+		p.Update(b, cp, false)
+	}
+	if correctA < 180 || correctB < 180 {
+		t.Fatalf("aliasing hurt accuracy: %d, %d of 200", correctA, correctB)
+	}
+}

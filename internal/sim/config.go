@@ -1,0 +1,121 @@
+// Package sim implements the detailed superscalar processor simulator of
+// §3: a trace-driven, pipelined, multiple-issue, dynamically scheduled,
+// speculative-execution core. It models the performance-critical
+// structures the paper lists — the pipeline (depth-parameterized
+// front end), reorder buffer, issue queue, load/store queue, functional
+// units, branch direction and target prediction, the L1I/L1D/L2 cache
+// hierarchy with MSHRs, DRAM device timing, queuing at the memory
+// controller, and contention for the memory bus.
+package sim
+
+import (
+	"predperf/internal/design"
+	"predperf/internal/sim/branch"
+	"predperf/internal/sim/cache"
+	"predperf/internal/sim/mem"
+)
+
+// Config fully describes one simulated machine. The nine Table 1
+// parameters arrive via FromDesign; the remaining fields are the fixed
+// machine context held constant across the design space.
+type Config struct {
+	// Design-space parameters (Table 1).
+	PipeDepth int // front-end depth: fetch→dispatch latency and mispredict refill
+	ROBSize   int
+	IQSize    int
+	LSQSize   int
+	DL1Lat    int // L1 data hit latency
+	L2Lat     int // unified L2 hit latency
+
+	IL1, DL1, L2 cache.Config
+
+	// Fixed core parameters.
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+
+	IntALUs  int // pipelined integer ALUs (also branches)
+	IntMults int // pipelined integer multiplier ports
+	FPUnits  int // pipelined FP adder/multiplier ports
+	MemPorts int // cache ports for loads/stores
+	MSHRs    int // outstanding L1D misses
+
+	Branch   branch.Config
+	Mem      mem.Config
+	Prefetch Prefetch // optional prefetchers; off by default
+
+	// WarmupInsts is the number of leading committed instructions whose
+	// statistics are discarded: caches, predictors, and DRAM state stay
+	// warm, but cycle and event counting restarts. This stands in for
+	// the paper's run-to-completion methodology on our finite traces.
+	WarmupInsts int
+}
+
+// Latencies of the functional units, in cycles.
+const (
+	latIntALU = 1
+	latIntMul = 3
+	latIntDiv = 20 // unpipelined
+	latFPALU  = 3
+	latFPMul  = 5
+	latFPDiv  = 16 // unpipelined
+	latBranch = 1
+	latStore  = 1 // address generation; data written at commit
+)
+
+// DefaultConfig returns the fixed machine context with mid-range values
+// for the design parameters.
+func DefaultConfig() Config {
+	c := Config{
+		PipeDepth: 12, ROBSize: 64, IQSize: 32, LSQSize: 32,
+		DL1Lat: 2, L2Lat: 12,
+		FetchWidth: 4, IssueWidth: 4, CommitWidth: 4,
+		IntALUs: 4, IntMults: 1, FPUnits: 2, MemPorts: 2, MSHRs: 8,
+		Branch: branch.DefaultConfig(),
+		Mem:    mem.DefaultConfig(),
+	}
+	c.IL1 = cache.Config{Name: "il1", SizeKB: 32, LineBytes: 64, Assoc: 2}
+	c.DL1 = cache.Config{Name: "dl1", SizeKB: 32, LineBytes: 64, Assoc: 2}
+	c.L2 = cache.Config{Name: "l2", SizeKB: 2048, LineBytes: 64, Assoc: 8}
+	return c
+}
+
+// FromDesign maps a decoded design point onto a full machine
+// configuration, filling the fixed context from DefaultConfig.
+func FromDesign(d design.Config) Config {
+	c := DefaultConfig()
+	c.PipeDepth = d.PipeDepth
+	c.ROBSize = d.ROBSize
+	c.IQSize = d.IQSize
+	c.LSQSize = d.LSQSize
+	c.DL1Lat = d.DL1Lat
+	c.L2Lat = d.L2Lat
+	c.IL1.SizeKB = d.IL1SizeKB
+	c.DL1.SizeKB = d.DL1SizeKB
+	c.L2.SizeKB = d.L2SizeKB
+	return c
+}
+
+// sanitize applies floors so a pathological configuration cannot wedge
+// the pipeline model.
+func (c *Config) sanitize() {
+	min := func(p *int, v int) {
+		if *p < v {
+			*p = v
+		}
+	}
+	min(&c.PipeDepth, 1)
+	min(&c.ROBSize, 4)
+	min(&c.IQSize, 2)
+	min(&c.LSQSize, 2)
+	min(&c.DL1Lat, 1)
+	min(&c.L2Lat, 1)
+	min(&c.FetchWidth, 1)
+	min(&c.IssueWidth, 1)
+	min(&c.CommitWidth, 1)
+	min(&c.IntALUs, 1)
+	min(&c.IntMults, 1)
+	min(&c.FPUnits, 1)
+	min(&c.MemPorts, 1)
+	min(&c.MSHRs, 1)
+}

@@ -1,0 +1,12 @@
+package sim
+
+import "predperf/internal/design"
+
+// designConfigFixture is a mid-range decoded design point used by the
+// FromDesign mapping test.
+func designConfigFixture() design.Config {
+	return design.Config{
+		PipeDepth: 10, ROBSize: 100, IQSize: 50, LSQSize: 40,
+		L2SizeKB: 1024, L2Lat: 9, IL1SizeKB: 16, DL1SizeKB: 32, DL1Lat: 3,
+	}
+}

@@ -1,0 +1,626 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"predperf/internal/sim/branch"
+	"predperf/internal/sim/cache"
+	"predperf/internal/sim/mem"
+	"predperf/internal/trace"
+)
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota // dispatched, operands possibly outstanding
+	stIssued                    // executing
+	stDone                      // completed, awaiting commit
+)
+
+// depRef names a dependent ROB entry; seq validates against reuse after
+// a flush.
+type depRef struct {
+	slot int32
+	seq  uint64
+}
+
+// robEntry is one reorder-buffer entry.
+type robEntry struct {
+	seq      uint64
+	traceIdx int
+	pc       uint64
+	addr     uint64
+	op       trace.Op
+	state    entryState
+	notReady int8
+
+	// Branch bookkeeping (fetch-time prediction state).
+	bpCP   branch.Checkpoint
+	predOK bool
+	taken  bool
+	target uint64
+
+	dependents []depRef
+}
+
+// fqEntry is an instruction in flight through the front end.
+type fqEntry struct {
+	traceIdx int
+	readyAt  uint64 // cycle it reaches dispatch (fetch cycle + pipe depth)
+	bpCP     branch.Checkpoint
+	predOK   bool
+}
+
+// readyItem orders ready instructions oldest-first for issue.
+type readyItem struct {
+	seq  uint64
+	slot int32
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int            { return len(h) }
+func (h readyHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// event is a scheduled completion.
+type event struct {
+	slot int32
+	seq  uint64
+}
+
+const wheelBits = 15 // event wheel spans 32k cycles; overflow goes to a map
+
+// inflightFill tracks an outstanding L1D line fill (an MSHR).
+type inflightFill struct {
+	line uint64
+	done uint64
+}
+
+// storeRef is an uncommitted store visible to load forwarding.
+type storeRef struct {
+	seq  uint64
+	addr uint64
+}
+
+// cpu is the complete microarchitectural state of one run.
+type cpu struct {
+	cfg Config
+	tr  trace.Trace
+
+	now uint64
+
+	// Memory hierarchy.
+	il1, dl1, l2 *cache.Cache
+	memc         *mem.Controller
+	bp           *branch.Predictor
+	mshrs        []inflightFill
+	rpt          [rptSize]rptEntry // stride-prefetch reference prediction table
+
+	// Front end.
+	fetchIdx        int
+	fetchStallUntil uint64
+	fetchBlocked    bool
+	lastFetchLine   uint64
+	fq              []fqEntry
+	fqCap           int
+
+	// Back end.
+	rob      []robEntry
+	robHead  int
+	robCount int
+	iqCount  int
+	lsqCount int
+	seqGen   uint64
+	ready    readyHeap
+	stash    []readyItem
+
+	// Unpipelined divider occupancy.
+	intDivBusy uint64
+	fpDivBusy  uint64
+
+	// Event wheel.
+	wheel    [1 << wheelBits][]event
+	overflow map[uint64][]event
+
+	// Store queue for forwarding.
+	storeQ []storeRef
+
+	committed int
+	warmup    int    // commits before statistics start
+	warmCycle uint64 // cycle at which warmup completed
+	res       Result
+}
+
+// Run simulates the trace to completion on the configured machine and
+// returns the run statistics.
+func Run(cfg Config, tr trace.Trace) Result {
+	cfg.sanitize()
+	if len(tr) == 0 {
+		return Result{}
+	}
+	c := &cpu{
+		cfg:           cfg,
+		tr:            tr,
+		il1:           cache.New(cfg.IL1),
+		dl1:           cache.New(cfg.DL1),
+		l2:            cache.New(cfg.L2),
+		memc:          mem.New(cfg.Mem),
+		bp:            branch.New(cfg.Branch),
+		rob:           make([]robEntry, cfg.ROBSize),
+		fqCap:         cfg.FetchWidth * (cfg.PipeDepth + 2),
+		lastFetchLine: ^uint64(0),
+		overflow:      map[uint64][]event{},
+		seqGen:        1,
+	}
+	warm := cfg.WarmupInsts
+	if warm >= len(tr) {
+		warm = len(tr) / 2
+	}
+	c.warmup = warm
+	c.run()
+	// c.warmup now holds the exact commit count at which statistics were
+	// reset (commit bursts can overshoot the requested boundary).
+	c.res.Instructions = uint64(len(tr) - c.warmup)
+	c.res.Cycles = c.now - c.warmCycle
+	c.res.IL1Stats = c.il1.Stats
+	c.res.DL1Stats = c.dl1.Stats
+	c.res.L2Stats = c.l2.Stats
+	c.res.BPStats = c.bp.Stats
+	c.res.MemStats = c.memc.Stats
+	return c.res
+}
+
+func (c *cpu) run() {
+	lastProgress := uint64(0)
+	lastCommitted := 0
+	for c.committed < len(c.tr) {
+		c.now++
+		c.completions()
+		c.commit()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+
+		if c.committed != lastCommitted {
+			if lastCommitted < c.warmup && c.committed >= c.warmup {
+				c.resetStats()
+			}
+			lastCommitted = c.committed
+			lastProgress = c.now
+		} else if c.now-lastProgress > 1_000_000 {
+			panic(fmt.Sprintf("sim: no commit progress for 1M cycles at cycle %d (committed %d/%d, robCount=%d, fetchIdx=%d, blocked=%v)",
+				c.now, c.committed, len(c.tr), c.robCount, c.fetchIdx, c.fetchBlocked))
+		}
+	}
+}
+
+// resetStats clears all statistics at the end of warmup while leaving
+// the microarchitectural state (cache contents, predictor tables, DRAM
+// rows) warm.
+func (c *cpu) resetStats() {
+	c.warmup = c.committed // actual boundary, after any commit burst
+	c.warmCycle = c.now
+	c.res = Result{}
+	c.il1.Stats = cache.Stats{}
+	c.dl1.Stats = cache.Stats{}
+	c.l2.Stats = cache.Stats{}
+	c.bp.Stats = branch.Stats{}
+	c.memc.Stats = mem.Stats{}
+}
+
+// schedule registers a completion event.
+func (c *cpu) schedule(at uint64, slot int32, seq uint64) {
+	if at <= c.now {
+		at = c.now + 1
+	}
+	if at-c.now < 1<<wheelBits {
+		idx := at & ((1 << wheelBits) - 1)
+		c.wheel[idx] = append(c.wheel[idx], event{slot, seq})
+	} else {
+		c.overflow[at] = append(c.overflow[at], event{slot, seq})
+	}
+}
+
+// completions processes every event due this cycle: instructions finish
+// execution, wake their dependents, and branches resolve.
+func (c *cpu) completions() {
+	idx := c.now & ((1 << wheelBits) - 1)
+	evs := c.wheel[idx]
+	c.wheel[idx] = nil
+	if ov, ok := c.overflow[c.now]; ok {
+		evs = append(evs, ov...)
+		delete(c.overflow, c.now)
+	}
+	for _, ev := range evs {
+		e := &c.rob[ev.slot]
+		if e.seq != ev.seq || e.state != stIssued {
+			continue // squashed
+		}
+		e.state = stDone
+		for _, d := range e.dependents {
+			de := &c.rob[d.slot]
+			if de.seq != d.seq || de.state != stWaiting {
+				continue
+			}
+			de.notReady--
+			if de.notReady == 0 {
+				heap.Push(&c.ready, readyItem{seq: de.seq, slot: d.slot})
+			}
+		}
+		e.dependents = nil
+		if e.op == trace.Branch {
+			c.resolveBranch(ev.slot)
+		}
+	}
+}
+
+// resolveBranch trains the predictor and, on a misprediction, flushes the
+// wrong path and redirects fetch.
+func (c *cpu) resolveBranch(slot int32) {
+	e := &c.rob[slot]
+	c.bp.Update(e.pc, e.bpCP, e.taken)
+	if e.taken {
+		c.bp.UpdateTarget(e.pc, e.target)
+	}
+	if e.predOK {
+		return
+	}
+	c.res.Mispredicts++
+	c.bp.RecordMispredict()
+	c.bp.Restore(e.pc, e.bpCP, e.taken)
+	// Trace-driven fetch stops at a mispredicted branch (wrong-path
+	// instructions are not in the trace), so the branch is always the
+	// youngest instruction in flight: there is nothing to squash beyond
+	// the (empty) front-end queue. Assert the invariant rather than
+	// carrying dead squash machinery.
+	pos := (int(slot) - c.robHead + len(c.rob)) % len(c.rob)
+	if c.robCount != pos+1 || len(c.fq) != 0 {
+		panic(fmt.Sprintf("sim: wrong-path state at mispredict resolve: robCount=%d pos=%d fq=%d",
+			c.robCount, pos, len(c.fq)))
+	}
+	c.fetchIdx = e.traceIdx + 1
+	c.fetchBlocked = false
+	c.fetchStallUntil = c.now + 1
+	c.lastFetchLine = ^uint64(0)
+}
+
+// commit retires up to CommitWidth completed instructions in order.
+// Stores write the data cache at commit time.
+func (c *cpu) commit() {
+	for budget := c.cfg.CommitWidth; budget > 0 && c.robCount > 0; budget-- {
+		e := &c.rob[c.robHead]
+		if e.state != stDone {
+			return
+		}
+		if e.op == trace.Store {
+			c.storeCommit(e.addr)
+			if len(c.storeQ) == 0 || c.storeQ[0].seq != e.seq {
+				panic("sim: store queue out of sync with commit order")
+			}
+			c.storeQ = c.storeQ[1:]
+		}
+		if e.op.IsMem() {
+			c.lsqCount--
+		}
+		c.res.Committed[int(e.op)]++
+		e.seq = 0
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.committed++
+	}
+}
+
+// storeCommit performs the data-cache write for a retiring store,
+// charging any miss and write-back traffic to the L2 and memory system
+// without stalling retirement (the write buffer hides the latency; the
+// bandwidth contention is what matters).
+func (c *cpu) storeCommit(addr uint64) {
+	hit, victim, wb := c.dl1.Access(addr, true)
+	if wb {
+		c.l2Access(c.now, victim, true)
+	}
+	if !hit {
+		c.l2Access(c.now, addr, false)
+	}
+}
+
+// l2Access performs an L2 lookup at the given cycle and returns the
+// cycle at which the requested line is available, going to DRAM on a
+// miss. Dirty L2 victims generate write-back traffic to memory.
+func (c *cpu) l2Access(at uint64, addr uint64, write bool) uint64 {
+	hit, victim, wb := c.l2.Access(addr, write)
+	done := at + uint64(c.cfg.L2Lat)
+	if !hit {
+		done = c.memc.Access(at+uint64(c.cfg.L2Lat), c.l2.LineAddr(addr))
+	}
+	if wb {
+		c.memc.Access(done, victim)
+	}
+	return done
+}
+
+// issue selects up to IssueWidth ready instructions, oldest first,
+// subject to functional-unit and MSHR availability.
+func (c *cpu) issue() {
+	aluLeft := c.cfg.IntALUs
+	mulLeft := c.cfg.IntMults
+	fpLeft := c.cfg.FPUnits
+	memLeft := c.cfg.MemPorts
+	c.stash = c.stash[:0]
+	budget := c.cfg.IssueWidth
+	for budget > 0 && c.ready.Len() > 0 {
+		item := heap.Pop(&c.ready).(readyItem)
+		e := &c.rob[item.slot]
+		if e.seq != item.seq || e.state != stWaiting {
+			continue // squashed or stale
+		}
+		var done uint64
+		issued := false
+		switch e.op {
+		case trace.IntALU:
+			if aluLeft > 0 {
+				aluLeft--
+				done = c.now + latIntALU
+				issued = true
+			}
+		case trace.Branch:
+			if aluLeft > 0 {
+				aluLeft--
+				done = c.now + latBranch
+				issued = true
+			}
+		case trace.IntMul:
+			if mulLeft > 0 {
+				mulLeft--
+				done = c.now + latIntMul
+				issued = true
+			}
+		case trace.IntDiv:
+			if mulLeft > 0 && c.intDivBusy <= c.now {
+				mulLeft--
+				done = c.now + latIntDiv
+				c.intDivBusy = done
+				issued = true
+			}
+		case trace.FPALU:
+			if fpLeft > 0 {
+				fpLeft--
+				done = c.now + latFPALU
+				issued = true
+			}
+		case trace.FPMul:
+			if fpLeft > 0 {
+				fpLeft--
+				done = c.now + latFPMul
+				issued = true
+			}
+		case trace.FPDiv:
+			if fpLeft > 0 && c.fpDivBusy <= c.now {
+				fpLeft--
+				done = c.now + latFPDiv
+				c.fpDivBusy = done
+				issued = true
+			}
+		case trace.Store:
+			if memLeft > 0 {
+				memLeft--
+				done = c.now + latStore
+				issued = true
+			}
+		case trace.Load:
+			if memLeft > 0 {
+				var ok bool
+				done, ok = c.loadIssue(e)
+				if ok {
+					memLeft--
+					issued = true
+				}
+			}
+		}
+		if !issued {
+			c.stash = append(c.stash, item)
+			continue
+		}
+		e.state = stIssued
+		c.iqCount--
+		c.schedule(done, item.slot, item.seq)
+		budget--
+	}
+	for _, it := range c.stash {
+		heap.Push(&c.ready, it)
+	}
+}
+
+// loadIssue runs a load through forwarding, the L1D, the MSHRs, and the
+// lower hierarchy. ok is false when the load cannot issue this cycle
+// (MSHRs exhausted).
+func (c *cpu) loadIssue(e *robEntry) (done uint64, ok bool) {
+	// Store-to-load forwarding from the youngest older store to the
+	// same address.
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		s := c.storeQ[i]
+		if s.seq < e.seq && s.addr == e.addr {
+			c.res.LoadForwards++
+			return c.now + 1, true
+		}
+	}
+	line := c.dl1.LineAddr(e.addr)
+	// Merge with an outstanding fill of the same line: the data is still
+	// in flight, so the load waits for it regardless of the tag state.
+	active := c.mshrs[:0]
+	var merged uint64
+	for _, f := range c.mshrs {
+		if f.done > c.now {
+			active = append(active, f)
+			if f.line == line {
+				merged = f.done
+			}
+		}
+	}
+	c.mshrs = active
+	if merged > 0 {
+		return merged, true
+	}
+	// Probe before allocating: the line may only be installed once an
+	// MSHR has accepted the miss, otherwise a load retrying after MSHR
+	// exhaustion would spuriously hit on its own half-handled miss.
+	if c.dl1.Probe(e.addr) {
+		c.dl1.Access(e.addr, false) // update LRU and hit statistics
+		c.maybePrefetchData(e.pc, e.addr)
+		return c.now + uint64(c.cfg.DL1Lat), true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return 0, false
+	}
+	_, victim, wb := c.dl1.Access(e.addr, false) // allocate the line
+	if wb {
+		c.l2Access(c.now, victim, true)
+	}
+	fill := c.l2Access(c.now+uint64(c.cfg.DL1Lat), e.addr, false)
+	c.mshrs = append(c.mshrs, inflightFill{line: line, done: fill})
+	c.maybePrefetchData(e.pc, e.addr)
+	return fill, true
+}
+
+// dispatch moves decoded instructions from the front-end queue into the
+// ROB, issue queue, and LSQ, resolving their data dependencies.
+func (c *cpu) dispatch() {
+	for budget := c.cfg.FetchWidth; budget > 0; budget-- {
+		if len(c.fq) == 0 || c.fq[0].readyAt > c.now {
+			return
+		}
+		if c.robCount == len(c.rob) {
+			c.res.ROBStallCycles++
+			return
+		}
+		if c.iqCount == c.cfg.IQSize {
+			c.res.IQStallCycles++
+			return
+		}
+		f := c.fq[0]
+		in := &c.tr[f.traceIdx]
+		if in.Op.IsMem() && c.lsqCount == c.cfg.LSQSize {
+			c.res.LSQStallCycles++
+			return
+		}
+		c.fq = c.fq[1:]
+
+		slot := int32((c.robHead + c.robCount) % len(c.rob))
+		c.seqGen++
+		e := &c.rob[slot]
+		*e = robEntry{
+			seq:      c.seqGen,
+			traceIdx: f.traceIdx,
+			pc:       in.PC,
+			addr:     in.Addr,
+			op:       in.Op,
+			state:    stWaiting,
+			bpCP:     f.bpCP,
+			predOK:   f.predOK,
+			taken:    in.Taken,
+			target:   in.Target,
+		}
+		headTraceIdx := f.traceIdx - c.robCount // oldest in-flight trace index
+		if c.robCount > 0 {
+			headTraceIdx = c.rob[c.robHead].traceIdx
+		}
+		link := func(dist int32) {
+			if dist <= 0 {
+				return
+			}
+			prodIdx := f.traceIdx - int(dist)
+			if prodIdx < headTraceIdx {
+				return // producer already committed
+			}
+			pslot := (c.robHead + (prodIdx - headTraceIdx)) % len(c.rob)
+			p := &c.rob[pslot]
+			if p.state == stDone {
+				return
+			}
+			p.dependents = append(p.dependents, depRef{slot: slot, seq: e.seq})
+			e.notReady++
+		}
+		link(in.Dep1)
+		link(in.Dep2)
+
+		c.robCount++
+		c.iqCount++
+		if in.Op.IsMem() {
+			c.lsqCount++
+		}
+		if in.Op == trace.Store {
+			c.storeQ = append(c.storeQ, storeRef{seq: e.seq, addr: e.addr})
+		}
+		if e.notReady == 0 {
+			heap.Push(&c.ready, readyItem{seq: e.seq, slot: slot})
+		}
+	}
+}
+
+// fetch brings up to FetchWidth instructions into the front-end queue,
+// modeling I-cache misses, branch prediction, taken-branch fetch breaks,
+// and misprediction stalls. Fetched instructions become dispatchable
+// PipeDepth cycles later, which is what makes pipeline depth costly on
+// flushes.
+func (c *cpu) fetch() {
+	if c.fetchIdx >= len(c.tr) {
+		return
+	}
+	if c.fetchBlocked || c.now < c.fetchStallUntil {
+		c.res.FetchStallCycles++
+		return
+	}
+	for budget := c.cfg.FetchWidth; budget > 0; budget-- {
+		if len(c.fq) >= c.fqCap || c.fetchIdx >= len(c.tr) {
+			return
+		}
+		in := &c.tr[c.fetchIdx]
+		line := in.PC &^ uint64(c.il1.LineBytes()-1)
+		if line != c.lastFetchLine {
+			hit, victim, wb := c.il1.Access(in.PC, false)
+			c.lastFetchLine = line
+			if wb {
+				c.l2Access(c.now, victim, true)
+			}
+			if !hit {
+				c.fetchStallUntil = c.l2Access(c.now, in.PC, false)
+				c.maybePrefetchNextLine(in.PC)
+				return
+			}
+		}
+		f := fqEntry{traceIdx: c.fetchIdx, readyAt: c.now + uint64(c.cfg.PipeDepth)}
+		if in.Op == trace.Branch {
+			predTaken, cp := c.bp.PredictDirection(in.PC)
+			f.bpCP = cp
+			f.predOK = predTaken == in.Taken
+			if in.Taken && f.predOK {
+				tgt, ok := c.bp.PredictTarget(in.PC)
+				if !ok || tgt != in.Target {
+					f.predOK = false
+				}
+			}
+			c.fq = append(c.fq, f)
+			c.fetchIdx++
+			if !f.predOK {
+				c.fetchBlocked = true
+				return
+			}
+			if in.Taken {
+				return // redirect: taken branches end the fetch group
+			}
+			continue
+		}
+		c.fq = append(c.fq, f)
+		c.fetchIdx++
+	}
+}

@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	c := New(Config{})
+	cold := c.Access(0, 0x1000) - 0 // first touch: row conflict path
+	// Same row again, after the bank frees: row hit.
+	now := cold + 100
+	hit := c.Access(now, 0x1040) - now
+	if hit >= cold {
+		t.Fatalf("row hit latency %d not faster than conflict %d", hit, cold)
+	}
+	if hit != c.MinLatency() {
+		t.Fatalf("unloaded row hit = %d, want MinLatency %d", hit, c.MinLatency())
+	}
+}
+
+func TestRowConflictReopens(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	c.Access(0, 0x0)
+	// Different row, same bank: rows are RowBytes apart × Banks stride.
+	stride := uint64(cfg.RowBytes * cfg.Banks)
+	now := uint64(1000)
+	lat := c.Access(now, stride) - now
+	want := uint64(cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.BusCycles)
+	if lat != want {
+		t.Fatalf("conflict latency = %d, want %d", lat, want)
+	}
+	if c.Stats.RowConflicts != 2 { // cold + reopen
+		t.Fatalf("row conflicts = %d", c.Stats.RowConflicts)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Two simultaneous requests to different banks overlap their DRAM
+	// access; only the bus serializes them.
+	t1 := c.Access(0, 0)
+	t2 := c.Access(0, uint64(cfg.RowBytes)) // next bank
+	if t2-t1 != uint64(cfg.BusCycles) {
+		t.Fatalf("bank-parallel completion gap = %d, want bus-only %d", t2-t1, cfg.BusCycles)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	stride := uint64(cfg.RowBytes * cfg.Banks) // same bank, different row
+	t1 := c.Access(0, 0)
+	t2 := c.Access(0, stride)
+	if t2 <= t1+uint64(cfg.BusCycles) {
+		t.Fatalf("same-bank different-row requests overlapped: %d then %d", t1, t2)
+	}
+}
+
+func TestBusContentionAccumulates(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Saturate with row hits to one open row: each transfer should be
+	// spaced by at least BusCycles.
+	c.Access(0, 0)
+	var prev uint64
+	for i := 1; i < 10; i++ {
+		done := c.Access(0, uint64(i*64)) // same row (RowBytes=2048)
+		if prev != 0 && done < prev+uint64(cfg.BusCycles) {
+			t.Fatalf("bus transfers overlapped: %d after %d", done, prev)
+		}
+		prev = done
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 2
+	c := New(cfg)
+	// Issue many requests at cycle 0; with a depth-2 queue, later ones
+	// must wait for earlier completions.
+	var last uint64
+	for i := 0; i < 8; i++ {
+		last = c.Access(0, uint64(i)*uint64(cfg.RowBytes)*uint64(cfg.Banks))
+	}
+	if c.Stats.QueueStalls == 0 {
+		t.Fatal("no queue stalls despite saturation")
+	}
+	deep := New(Config{QueueDepth: 64})
+	var lastDeep uint64
+	for i := 0; i < 8; i++ {
+		lastDeep = deep.Access(0, uint64(i)*uint64(cfg.RowBytes)*uint64(cfg.Banks))
+	}
+	if last < lastDeep {
+		t.Fatalf("shallow queue finished earlier (%d) than deep (%d)", last, lastDeep)
+	}
+}
+
+func TestMonotoneCompletionAfterIssue(t *testing.T) {
+	// Property: completion is always strictly after issue, and at least
+	// MinLatency later when the system is idle at issue time.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{})
+		now := uint64(0)
+		for i := 0; i < 200; i++ {
+			now += uint64(rng.Intn(50))
+			addr := uint64(rng.Intn(1 << 26))
+			done := c.Access(now, addr)
+			if done <= now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 5; i++ {
+		c.Access(uint64(i*1000), 0x40)
+	}
+	if c.Stats.Requests != 5 {
+		t.Fatalf("requests = %d", c.Stats.Requests)
+	}
+	if c.Stats.RowHits+c.Stats.RowConflicts != 5 {
+		t.Fatalf("hits+conflicts = %d", c.Stats.RowHits+c.Stats.RowConflicts)
+	}
+	if c.Stats.RowHits != 4 {
+		t.Fatalf("row hits = %d, want 4 after cold open", c.Stats.RowHits)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(Config{})
+	if c.Config() != DefaultConfig() {
+		t.Fatalf("zero config did not take defaults: %+v", c.Config())
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import "math"
+
+// PowerModel holds the activity-based energy coefficients used to
+// estimate dynamic and static energy from a run's event counts — the
+// §6 extension ("similar models can be developed for other metrics such
+// as power consumption"). Energies are in picojoules; the model is a
+// simple CACTI-flavored fit: array access energy grows with the square
+// root of capacity, leakage grows linearly with storage, and pipeline
+// latch energy grows with depth.
+type PowerModel struct {
+	// Per-committed-instruction execution energies by class.
+	ALUPJ, MulPJ, DivPJ, FPPJ, FPMulPJ, FPDivPJ float64
+
+	// Cache access energy: AccessPJ(sizeKB) = Base + Scale*sqrt(sizeKB).
+	L1BasePJ, L1ScalePJ float64
+	L2BasePJ, L2ScalePJ float64
+
+	DRAMAccessPJ float64 // per line transferred
+	BPredictPJ   float64 // per direction lookup
+	LatchPJ      float64 // per instruction per pipeline stage
+	FlushPJ      float64 // per squashed fetch slot on a misprediction
+
+	// Leakage per cycle: LeakBasePJ + LeakEntryPJ·(ROB+IQ+LSQ entries)
+	// + LeakKBPJ·(total cache KB).
+	LeakBasePJ, LeakEntryPJ, LeakKBPJ float64
+}
+
+// DefaultPowerModel returns coefficients loosely calibrated to a ~2 GHz
+// 90 nm-era core (total power landing in the 10–60 W range across the
+// design space).
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		ALUPJ: 300, MulPJ: 1000, DivPJ: 3200, FPPJ: 1100, FPMulPJ: 1700, FPDivPJ: 4500,
+		L1BasePJ: 200, L1ScalePJ: 60,
+		L2BasePJ: 800, L2ScalePJ: 150,
+		DRAMAccessPJ: 25000,
+		BPredictPJ:   100,
+		LatchPJ:      60,
+		FlushPJ:      150,
+		LeakBasePJ:   4000,
+		LeakEntryPJ:  8,
+		LeakKBPJ:     2,
+	}
+}
+
+// cacheAccessPJ is the per-access energy of an array of the given size.
+func accessPJ(base, scale float64, sizeKB int) float64 {
+	return base + scale*math.Sqrt(float64(sizeKB))
+}
+
+// Energy estimates the total energy of a run in picojoules from its
+// statistics and the machine configuration.
+func (p PowerModel) Energy(cfg Config, r Result) float64 {
+	var e float64
+
+	// Execution energy by committed class.
+	e += p.ALUPJ * float64(r.Committed[IntALUClass]+r.Committed[BranchClass])
+	e += p.MulPJ * float64(r.Committed[IntMulClass])
+	e += p.DivPJ * float64(r.Committed[IntDivClass])
+	e += p.FPPJ * float64(r.Committed[FPALUClass])
+	e += p.FPMulPJ * float64(r.Committed[FPMulClass])
+	e += p.FPDivPJ * float64(r.Committed[FPDivClass])
+
+	// Memory hierarchy.
+	e += accessPJ(p.L1BasePJ, p.L1ScalePJ, cfg.IL1.SizeKB) * float64(r.IL1Stats.Accesses)
+	e += accessPJ(p.L1BasePJ, p.L1ScalePJ, cfg.DL1.SizeKB) * float64(r.DL1Stats.Accesses)
+	e += accessPJ(p.L2BasePJ, p.L2ScalePJ, cfg.L2.SizeKB) * float64(r.L2Stats.Accesses)
+	e += p.DRAMAccessPJ * float64(r.MemStats.Requests)
+
+	// Front end: prediction lookups, pipeline latches, flush waste.
+	e += p.BPredictPJ * float64(r.BPStats.Lookups)
+	e += p.LatchPJ * float64(cfg.PipeDepth) * float64(r.Instructions)
+	e += p.FlushPJ * float64(r.Mispredicts) * float64(cfg.PipeDepth*cfg.FetchWidth)
+
+	// Leakage.
+	entries := float64(cfg.ROBSize + cfg.IQSize + cfg.LSQSize)
+	kb := float64(cfg.IL1.SizeKB + cfg.DL1.SizeKB + cfg.L2.SizeKB)
+	e += (p.LeakBasePJ + p.LeakEntryPJ*entries + p.LeakKBPJ*kb) * float64(r.Cycles)
+
+	return e
+}
+
+// Metrics derived from a run's energy estimate.
+
+// EnergyPJ returns the default power model's total energy estimate.
+func (r Result) EnergyPJ(cfg Config) float64 {
+	return DefaultPowerModel().Energy(cfg, r)
+}
+
+// EPI returns energy per committed instruction, in picojoules.
+func (r Result) EPI(cfg Config) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.EnergyPJ(cfg) / float64(r.Instructions)
+}
+
+// AvgPowerW returns average power in watts at the given core frequency.
+func (r Result) AvgPowerW(cfg Config, freqGHz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	perCycle := r.EnergyPJ(cfg) / float64(r.Cycles) // pJ per cycle
+	return perCycle * freqGHz / 1000                // pJ/cycle · cycles/ns → W
+}
+
+// EDP returns the energy-delay product per instruction (pJ·cycles), the
+// standard efficiency metric for power-performance tradeoff studies.
+func (r Result) EDP(cfg Config) float64 {
+	return r.EPI(cfg) * r.CPI()
+}

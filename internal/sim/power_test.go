@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"predperf/internal/trace"
+)
+
+func powerRun(t *testing.T, name string, mod func(*Config)) (Config, Result) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 10000
+	if mod != nil {
+		mod(&cfg)
+	}
+	tr, err := trace.Cached(name, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, Run(cfg, tr)
+}
+
+func TestEnergyPositiveAndDecomposes(t *testing.T) {
+	cfg, r := powerRun(t, "crafty", nil)
+	e := r.EnergyPJ(cfg)
+	if e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+	if r.EPI(cfg) <= 0 || r.EDP(cfg) <= 0 {
+		t.Fatalf("EPI/EDP non-positive: %v %v", r.EPI(cfg), r.EDP(cfg))
+	}
+	// Committed class counts must sum to the instruction count.
+	var sum uint64
+	for _, c := range r.Committed {
+		sum += c
+	}
+	if sum != r.Instructions {
+		t.Fatalf("committed classes sum to %d, want %d", sum, r.Instructions)
+	}
+}
+
+func TestPowerInPlausibleRange(t *testing.T) {
+	cfg, r := powerRun(t, "equake", nil)
+	w := r.AvgPowerW(cfg, 2.0)
+	if w < 1 || w > 200 {
+		t.Fatalf("average power %v W implausible for a 2 GHz core", w)
+	}
+}
+
+func TestBiggerCachesCostMoreEnergyPerAccess(t *testing.T) {
+	cfgS, rS := powerRun(t, "crafty", func(c *Config) { c.L2.SizeKB = 256 })
+	cfgB, rB := powerRun(t, "crafty", func(c *Config) { c.L2.SizeKB = 8192 })
+	// Normalize per instruction; the 8MB L2 has higher access energy and
+	// far more leakage, so EPI must rise even though it may run faster.
+	if rB.EPI(cfgB) <= rS.EPI(cfgS) {
+		t.Fatalf("8MB L2 EPI %v not above 256KB %v", rB.EPI(cfgB), rS.EPI(cfgS))
+	}
+}
+
+func TestDeeperPipeBurnsMoreEnergy(t *testing.T) {
+	cfgS, rS := powerRun(t, "twolf", func(c *Config) { c.PipeDepth = 7 })
+	cfgD, rD := powerRun(t, "twolf", func(c *Config) { c.PipeDepth = 24 })
+	if rD.EPI(cfgD) <= rS.EPI(cfgS) {
+		t.Fatalf("deep pipe EPI %v not above shallow %v", rD.EPI(cfgD), rS.EPI(cfgS))
+	}
+}
+
+func TestFPWorkloadBurnsMoreFPEnergy(t *testing.T) {
+	cfg, rFP := powerRun(t, "ammp", nil)
+	_, rInt := powerRun(t, "crafty", nil)
+	fpOps := func(r Result) uint64 {
+		return r.Committed[FPALUClass] + r.Committed[FPMulClass] + r.Committed[FPDivClass]
+	}
+	if fpOps(rFP) <= fpOps(rInt)*2 {
+		t.Fatalf("ammp FP ops %d not ≫ crafty %d", fpOps(rFP), fpOps(rInt))
+	}
+	_ = cfg
+}
+
+func TestEDPTradesOffCorrectly(t *testing.T) {
+	// A slightly smaller, faster design should win EDP against a
+	// maximally provisioned one on a compute-bound workload.
+	cfgBig, rBig := powerRun(t, "crafty", func(c *Config) {
+		c.L2.SizeKB = 8192
+	})
+	cfgMid, rMid := powerRun(t, "crafty", func(c *Config) {
+		c.L2.SizeKB = 1024
+	})
+	// crafty's working set fits in 1MB; the 8MB L2 pays leakage+access
+	// energy for nothing measurable.
+	if rBig.EDP(cfgBig) <= rMid.EDP(cfgMid) {
+		t.Fatalf("8MB EDP %v not above 1MB %v for cache-resident workload",
+			rBig.EDP(cfgBig), rMid.EDP(cfgMid))
+	}
+}
+
+func TestZeroRunEnergy(t *testing.T) {
+	var r Result
+	cfg := DefaultConfig()
+	if r.EPI(cfg) != 0 || r.AvgPowerW(cfg, 2.0) != 0 {
+		t.Fatal("zero-run metrics must be zero")
+	}
+}

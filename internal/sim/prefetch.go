@@ -1,0 +1,110 @@
+package sim
+
+// Prefetch configures the optional hardware prefetchers. Both default to
+// off, matching the paper's machine description (which lists no
+// prefetchers among the modeled structures); the ablation benchmarks
+// turn them on to quantify what prefetching would change.
+type Prefetch struct {
+	// IL1NextLine fetches line N+1 into the instruction cache whenever
+	// line N misses (tagged next-line prefetch).
+	IL1NextLine bool
+	// DL1Stride runs a PC-indexed reference prediction table over load
+	// addresses and prefetches ahead on confident strides.
+	DL1Stride bool
+	// Degree is how many strides ahead the data prefetcher runs
+	// (default 1).
+	Degree int
+}
+
+// rptEntry is one reference-prediction-table row.
+type rptEntry struct {
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8 // saturating confidence counter
+}
+
+const rptSize = 256 // direct-mapped, power of two
+
+// maybePrefetchData updates the stride predictor for a load at pc/addr
+// and issues a prefetch when confident. Prefetched lines are installed
+// through the regular MSHR path, so later demand loads merge with the
+// in-flight fill; prefetches never steal the last free MSHR.
+func (c *cpu) maybePrefetchData(pc, addr uint64) {
+	if !c.cfg.Prefetch.DL1Stride {
+		return
+	}
+	idx := (pc >> 2) & (rptSize - 1)
+	e := &c.rpt[idx]
+	if e.tag != pc {
+		*e = rptEntry{tag: pc, lastAddr: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		e.stride = stride
+	}
+	e.lastAddr = addr
+	if e.conf < 2 || e.stride == 0 {
+		return
+	}
+	degree := c.cfg.Prefetch.Degree
+	if degree <= 0 {
+		degree = 1
+	}
+	for d := 1; d <= degree; d++ {
+		target := uint64(int64(addr) + e.stride*int64(d))
+		line := c.dl1.LineAddr(target)
+		if c.dl1.Probe(target) || c.lineInFlight(line) {
+			continue
+		}
+		// Leave at least one MSHR for demand misses.
+		if len(c.mshrs) >= c.cfg.MSHRs-1 {
+			return
+		}
+		victim, wb := c.dl1.Fill(target)
+		if wb {
+			c.l2Access(c.now, victim, true)
+		}
+		fill := c.l2Access(c.now+uint64(c.cfg.DL1Lat), target, false)
+		c.mshrs = append(c.mshrs, inflightFill{line: line, done: fill})
+		c.res.Prefetches++
+	}
+}
+
+// lineInFlight reports whether a fill for the line is outstanding.
+func (c *cpu) lineInFlight(line uint64) bool {
+	for _, f := range c.mshrs {
+		if f.line == line && f.done > c.now {
+			return true
+		}
+	}
+	return false
+}
+
+// maybePrefetchNextLine issues the instruction next-line prefetch after
+// an IL1 miss on the line containing pc. The fetched line is installed
+// immediately and its memory traffic charged; the front end does not
+// wait on it.
+func (c *cpu) maybePrefetchNextLine(pc uint64) {
+	if !c.cfg.Prefetch.IL1NextLine {
+		return
+	}
+	next := c.il1.LineAddr(pc) + uint64(c.il1.LineBytes())
+	if c.il1.Probe(next) {
+		return
+	}
+	victim, wb := c.il1.Fill(next)
+	if wb {
+		c.l2Access(c.now, victim, true)
+	}
+	c.l2Access(c.now, next, false)
+	c.res.Prefetches++
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"predperf/internal/sim/branch"
+	"predperf/internal/sim/cache"
+	"predperf/internal/sim/mem"
+	"predperf/internal/trace"
+)
+
+// Instruction-class indices for Result.Committed, mirroring trace.Op.
+const (
+	IntALUClass = int(trace.IntALU)
+	IntMulClass = int(trace.IntMul)
+	IntDivClass = int(trace.IntDiv)
+	FPALUClass  = int(trace.FPALU)
+	FPMulClass  = int(trace.FPMul)
+	FPDivClass  = int(trace.FPDiv)
+	LoadClass   = int(trace.Load)
+	StoreClass  = int(trace.Store)
+	BranchClass = int(trace.Branch)
+	NumClasses  = 9
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+
+	Mispredicts uint64 // direction or target mispredictions that flushed
+
+	// Committed counts retired instructions by class (see the *Class
+	// constants); it feeds the activity-based power model.
+	Committed [NumClasses]uint64
+
+	IL1Stats cache.Stats
+	DL1Stats cache.Stats
+	L2Stats  cache.Stats
+	BPStats  branch.Stats
+	MemStats mem.Stats
+
+	// Dispatch-stall accounting: cycles in which dispatch was blocked by
+	// a full structure (at most one cause counted per cycle).
+	ROBStallCycles uint64
+	IQStallCycles  uint64
+	LSQStallCycles uint64
+	// Fetch-stall accounting: cycles the front end was idle waiting on
+	// an I-cache fill or a mispredict redirect.
+	FetchStallCycles uint64
+
+	LoadForwards uint64 // loads satisfied by store-to-load forwarding
+	Prefetches   uint64 // prefetch fills issued (when prefetchers are on)
+}
+
+// CPI returns cycles per committed instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MispredictsPerKI returns mispredictions per thousand instructions.
+func (r Result) MispredictsPerKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Mispredicts) / float64(r.Instructions)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d CPI=%.3f il1Miss=%.3f dl1Miss=%.3f l2Miss=%.3f bpMiss=%.3f",
+		r.Cycles, r.Instructions, r.CPI(),
+		r.IL1Stats.MissRate(), r.DL1Stats.MissRate(), r.L2Stats.MissRate(), r.BPStats.MispredictRate())
+}

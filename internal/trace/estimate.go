@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"sort"
+
+	"predperf/internal/sim/branch"
+)
+
+// EstimateProfile measures a trace's statistical profile — the profiling
+// step of statistical simulation (Eeckhout et al., ISCA 2004; §5 of the
+// paper). The returned profile can be handed back to Generate to produce
+// a short synthetic trace whose simulated behavior tracks the original,
+// which is exactly the statistical-simulation methodology the paper's
+// related work contrasts with model building.
+//
+// Address-pattern classification assumes this package's memory layout
+// (stack / pointer / stream regions), which holds for traces produced by
+// Generate; foreign traces get a best-effort split by address range.
+func EstimateProfile(name string, tr Trace) Profile {
+	p := Profile{Name: name}
+	if len(tr) == 0 {
+		return p
+	}
+	n := float64(len(tr))
+
+	// Instruction mix and dependency structure.
+	var counts [numOps]int
+	var depSum float64
+	var depCnt, dep2Cnt int
+	isLoad := make([]bool, len(tr))
+	for i := range tr {
+		isLoad[i] = tr[i].Op == Load
+	}
+	var loads, chased, storeReuse int
+	var recentStores [8]uint64
+	nStores := 0
+	blockLens := []int{}
+	lastBranch := -1
+	var taken, branches int
+	for i := range tr {
+		in := &tr[i]
+		counts[in.Op]++
+		if in.Dep1 > 0 {
+			depSum += float64(in.Dep1)
+			depCnt++
+		}
+		if in.Dep2 > 0 {
+			depSum += float64(in.Dep2)
+			depCnt++
+			dep2Cnt++
+		}
+		switch in.Op {
+		case Load:
+			loads++
+			if in.Dep1 > 0 && isLoad[i-int(in.Dep1)] {
+				chased++
+			}
+			for _, s := range recentStores {
+				if s != 0 && s == in.Addr {
+					storeReuse++
+					break
+				}
+			}
+		case Store:
+			recentStores[nStores%len(recentStores)] = in.Addr
+			nStores++
+		case Branch:
+			branches++
+			if in.Taken {
+				taken++
+			}
+			blockLens = append(blockLens, i-lastBranch)
+			lastBranch = i
+		}
+	}
+	p.LoadFrac = float64(counts[Load]) / n
+	p.StoreFrac = float64(counts[Store]) / n
+	p.BranchFrac = float64(counts[Branch]) / n
+	p.IntMulFrac = float64(counts[IntMul]) / n
+	p.IntDivFrac = float64(counts[IntDiv]) / n
+	p.FPALUFrac = float64(counts[FPALU]) / n
+	p.FPMulFrac = float64(counts[FPMul]) / n
+	p.FPDivFrac = float64(counts[FPDiv]) / n
+
+	p.MeanDepDist = 3
+	if depCnt > 0 {
+		p.MeanDepDist = depSum / float64(depCnt)
+	}
+	p.SecondDepProb = float64(dep2Cnt) / n
+	if loads > 0 {
+		p.ChaseDepProb = float64(chased) / float64(loads)
+		p.StoreReuseProb = float64(storeReuse) / float64(loads)
+	}
+
+	// Code structure: mean dynamic block length and executed block count.
+	meanBlock := 7.0
+	if len(blockLens) > 0 {
+		var s int
+		for _, l := range blockLens {
+			s += l
+		}
+		meanBlock = float64(s) / float64(len(blockLens))
+	}
+	p.BlockMin = clampInt(int(meanBlock)-3, 2, 64)
+	p.BlockMax = clampInt(int(meanBlock)+3, p.BlockMin, 64)
+
+	branchPCs := map[uint64]int{}
+	for i := range tr {
+		if tr[i].Op == Branch {
+			branchPCs[tr[i].PC]++
+		}
+	}
+	p.CodeBlocks = clampInt(len(branchPCs), 2, 1<<16)
+	// Hot fraction: how many static branches cover 90% of executions.
+	execs := make([]int, 0, len(branchPCs))
+	for _, c := range branchPCs {
+		execs = append(execs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(execs)))
+	cum, hot := 0, 0
+	for _, c := range execs {
+		cum += c
+		hot++
+		if float64(cum) >= 0.9*float64(branches) {
+			break
+		}
+	}
+	p.HotFrac = clampF(float64(hot)/float64(max(p.CodeBlocks, 1)), 0.02, 1)
+	p.HotProb = 0.93
+
+	// Branch behavior: taken bias directly; predictability from the
+	// in-order accuracy of the reference tournament predictor, inverted
+	// through acc ≈ PF·0.93 + (1−PF)·max(bias, 1−bias).
+	bias := 0.6
+	if branches > 0 {
+		bias = float64(taken) / float64(branches)
+	}
+	p.BranchBias = clampF(bias, 0.05, 0.95)
+	acc := predictorAccuracy(tr)
+	m := bias
+	if 1-bias > m {
+		m = 1 - bias
+	}
+	if 0.93 > m {
+		p.PatternFrac = clampF((acc-m)/(0.93-m), 0, 0.98)
+	} else {
+		p.PatternFrac = 0.9
+	}
+	p.BranchNoise = 0.02
+
+	// Data regions: classify by the package's address layout.
+	var stackN, ptrN, heapN int
+	var stackSpan, heapSpan uint64
+	var ptrOffsets []uint64
+	for i := range tr {
+		if !tr[i].Op.IsMem() {
+			continue
+		}
+		a := tr[i].Addr
+		switch {
+		case a >= stackBase:
+			stackN++
+			if off := a - stackBase; off > stackSpan {
+				stackSpan = off
+			}
+		case a >= pointerBase:
+			ptrN++
+			ptrOffsets = append(ptrOffsets, a-pointerBase)
+		default:
+			heapN++
+			if off := a - heapBase; off > heapSpan {
+				heapSpan = off
+			}
+		}
+	}
+	mem := stackN + ptrN + heapN
+	if mem > 0 {
+		p.StackFrac = float64(stackN) / float64(mem)
+		p.PointerFrac = float64(ptrN) / float64(mem)
+	}
+	p.StackBytes = maxU(stackSpan, 1<<10)
+	p.StreamBytes = maxU(heapSpan, 64<<10)
+	p.StreamStride = 8
+	p.Streams = 4
+	if len(ptrOffsets) > 0 {
+		sort.Slice(ptrOffsets, func(i, j int) bool { return ptrOffsets[i] < ptrOffsets[j] })
+		q := func(f float64) uint64 { return ptrOffsets[int(f*float64(len(ptrOffsets)-1))] }
+		// Tier spans at fixed quantiles; tier probabilities solved so the
+		// generator's three-uniform mixture reproduces the empirical mass
+		// at those spans (see solveTierProbs).
+		s1 := maxU(q(0.75), 4<<10)
+		s2 := maxU(q(0.95), s1+1)
+		s3 := maxU(q(1.0), s2+1)
+		p1, p2 := solveTierProbs(0.75, 0.95, float64(s1), float64(s2), float64(s3))
+		p.PtrL1Prob = p1
+		p.PtrL1Bytes = s1
+		p.PtrHotProb = p2
+		p.PtrHotBytes = s2
+		p.PointerBytes = s3
+	} else {
+		p.PointerBytes = 1 << 20
+		p.PtrL1Bytes = 16 << 10
+		p.PtrHotBytes = 256 << 10
+	}
+	return p
+}
+
+// predictorAccuracy measures in-order tournament-predictor accuracy on
+// the trace's branch stream, counting only the second half so training
+// warmup does not depress the estimate on short profiles.
+func predictorAccuracy(tr Trace) float64 {
+	bp := branch.New(branch.Config{})
+	var branches int
+	for i := range tr {
+		if tr[i].Op == Branch {
+			branches++
+		}
+	}
+	correct, total, seen := 0, 0, 0
+	for i := range tr {
+		if tr[i].Op != Branch {
+			continue
+		}
+		seen++
+		pred, cp := bp.PredictDirection(tr[i].PC)
+		if seen > branches/2 {
+			total++
+			if pred == tr[i].Taken {
+				correct++
+			}
+		}
+		if pred != tr[i].Taken {
+			bp.Restore(tr[i].PC, cp, tr[i].Taken)
+		}
+		bp.Update(tr[i].PC, cp, tr[i].Taken)
+	}
+	if total == 0 {
+		return 0.9
+	}
+	return float64(correct) / float64(total)
+}
+
+// solveTierProbs fits the three-tier mixture weights so that the
+// generated address distribution matches the empirical cumulative mass
+// f1 at span s1 and f2 at span s2 (s3 is the full footprint):
+//
+//	f1 = p1 + p2·s1/s2 + p3·s1/s3
+//	f2 = p1 + p2 + p3·s2/s3
+//	 1 = p1 + p2 + p3
+func solveTierProbs(f1, f2, s1, s2, s3 float64) (p1, p2 float64) {
+	p3 := (1 - f2) / (1 - s2/s3)
+	a := f2 - p3*s2/s3 // = p1 + p2
+	denom := 1 - s1/s2
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	p1 = (f1 - a*s1/s2 - p3*s1/s3) / denom
+	// Clamp against numerical or degenerate-span issues and renormalize
+	// so p1 + p2 + p3 = 1 with every weight positive.
+	p1 = clampF(p1, 0.05, 0.95)
+	p3 = clampF(p3, 0.01, 0.9)
+	p2 = clampF(1-p1-p3, 0.01, 0.9)
+	return p1, p2
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

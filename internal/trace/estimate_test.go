@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateProfileRecoversMix(t *testing.T) {
+	orig, _ := ByName("twolf")
+	tr := Generate(orig, 80000, 1)
+	est := EstimateProfile("twolf-est", tr)
+	if err := est.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mix := tr.Mix()
+	if math.Abs(est.LoadFrac-mix[Load]) > 0.01 {
+		t.Fatalf("load frac %v, measured %v", est.LoadFrac, mix[Load])
+	}
+	if math.Abs(est.BranchFrac-mix[Branch]) > 0.01 {
+		t.Fatalf("branch frac %v, measured %v", est.BranchFrac, mix[Branch])
+	}
+	// Block lengths bracket the measured mean.
+	meanBlock := 1 / mix[Branch]
+	if float64(est.BlockMin) > meanBlock || float64(est.BlockMax) < meanBlock {
+		t.Fatalf("block range [%d,%d] does not bracket %v", est.BlockMin, est.BlockMax, meanBlock)
+	}
+}
+
+func TestEstimateProfileBranchBehavior(t *testing.T) {
+	orig, _ := ByName("equake")
+	tr := Generate(orig, 80000, 1)
+	est := EstimateProfile("equake-est", tr)
+	// equake branches are overwhelmingly predictable.
+	if est.PatternFrac < 0.7 {
+		t.Fatalf("equake estimated PatternFrac %v too low", est.PatternFrac)
+	}
+	// And mostly taken.
+	if est.BranchBias < 0.6 {
+		t.Fatalf("equake estimated bias %v too low", est.BranchBias)
+	}
+}
+
+func TestEstimateProfileRegions(t *testing.T) {
+	orig, _ := ByName("mcf")
+	tr := Generate(orig, 80000, 1)
+	est := EstimateProfile("mcf-est", tr)
+	// mcf is pointer-heavy with a multi-megabyte pointer footprint.
+	if est.PointerFrac < 0.3 {
+		t.Fatalf("mcf estimated pointer frac %v", est.PointerFrac)
+	}
+	if est.PointerBytes < 4<<20 {
+		t.Fatalf("mcf estimated pointer footprint %d too small", est.PointerBytes)
+	}
+	if est.PtrL1Bytes >= est.PtrHotBytes || est.PtrHotBytes > est.PointerBytes {
+		t.Fatalf("tier ordering broken: %d / %d / %d", est.PtrL1Bytes, est.PtrHotBytes, est.PointerBytes)
+	}
+}
+
+func TestEstimatedProfileGeneratesRunnableTrace(t *testing.T) {
+	orig, _ := ByName("parser")
+	tr := Generate(orig, 60000, 1)
+	est := EstimateProfile("parser-est", tr)
+	synth := Generate(est, 20000, 2)
+	if len(synth) != 20000 {
+		t.Fatalf("synthetic trace length %d", len(synth))
+	}
+	// The regenerated trace's mix must be close to the original's.
+	a, b := tr.Mix(), synth.Mix()
+	if math.Abs(a[Load]-b[Load]) > 0.05 {
+		t.Fatalf("regenerated load frac %v vs original %v", b[Load], a[Load])
+	}
+}
+
+func TestEstimateEmptyTrace(t *testing.T) {
+	p := EstimateProfile("empty", nil)
+	if p.Name != "empty" {
+		t.Fatal("name not set")
+	}
+}
+
+func TestSolveTierProbsForwardCheck(t *testing.T) {
+	s1, s2, s3 := 20e3, 300e3, 3e6
+	f1, f2 := 0.6, 0.92
+	p1, p2 := solveTierProbs(f1, f2, s1, s2, s3)
+	p3 := 1 - p1 - p2
+	if p1 <= 0 || p2 <= 0 || p3 <= 0 {
+		t.Fatalf("non-positive weights: %v %v %v", p1, p2, p3)
+	}
+	g := func(x float64) float64 {
+		return p1*math.Min(1, x/s1) + p2*math.Min(1, x/s2) + p3*math.Min(1, x/s3)
+	}
+	if math.Abs(g(s1)-f1) > 0.03 {
+		t.Fatalf("G(s1) = %v, want %v", g(s1), f1)
+	}
+	if math.Abs(g(s2)-f2) > 0.03 {
+		t.Fatalf("G(s2) = %v, want %v", g(s2), f2)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("parser")
+	orig := Generate(p, 8000, 3)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := 16 + len(orig)*recordBytes
+	if buf.Len() != wantBytes {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantBytes)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("read %d instructions, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"short":     "PP",
+		"bad magic": "XXXX" + strings.Repeat("\x00", 12),
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace(strings.NewReader(data)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	// Bad version.
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	buf.Write([]byte{99, 0, 0, 0})
+	buf.Write(make([]byte, 8))
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("expected version error")
+	}
+	// Truncated body.
+	buf.Reset()
+	tr := Trace{{PC: 4, Op: IntALU}}
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Implausible count.
+	head := make([]byte, 16)
+	copy(head, traceMagic)
+	head[4] = traceVersion
+	for i := 8; i < 16; i++ {
+		head[i] = 0xFF
+	}
+	if _, err := ReadTrace(bytes.NewReader(head)); err == nil {
+		t.Fatal("expected count error")
+	}
+}
+
+func TestReadTraceValidatesRecords(t *testing.T) {
+	// A record with an out-of-range op must be rejected.
+	tr := Trace{{PC: 4, Op: IntALU}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[16+32] = 200 // op byte of record 0
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected op validation error")
+	}
+	// Forward dependency must be rejected.
+	buf.Reset()
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw = buf.Bytes()
+	raw[16+24] = 5 // Dep1 of record 0 points before the trace start
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected dependency validation error")
+	}
+}

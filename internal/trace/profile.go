@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile statistically characterizes one benchmark. Fractions are of
+// dynamic instructions; op-mix fractions may sum to less than 1, with
+// the remainder being integer ALU operations.
+type Profile struct {
+	Name string
+
+	// Instruction mix.
+	LoadFrac, StoreFrac, BranchFrac float64
+	IntMulFrac, IntDivFrac          float64
+	FPALUFrac, FPMulFrac, FPDivFrac float64
+
+	// Dependency structure: mean backward producer distance (geometric)
+	// and the probability an instruction has a second operand.
+	MeanDepDist   float64
+	SecondDepProb float64
+	// ChaseDepProb is the probability that a pointer-pattern load
+	// depends on the previous load (serialized pointer chasing).
+	ChaseDepProb float64
+	// StoreReuseProb is the probability that a load re-reads the address
+	// of a recent store (spill/refill pairs), which exercises
+	// store-to-load forwarding.
+	StoreReuseProb float64
+
+	// Control flow: static code structure and branch behaviour.
+	CodeBlocks         int     // number of static basic blocks
+	BlockMin, BlockMax int     // instructions per block (branch included)
+	HotFrac            float64 // fraction of blocks forming the hot region
+	HotProb            float64 // probability control stays in the hot region
+	PatternFrac        float64 // fraction of branches with a periodic outcome
+	BranchBias         float64 // taken bias (pattern duty cycle / Bernoulli rate)
+	BranchNoise        float64 // probability a periodic outcome is flipped
+
+	// Data access patterns: mixing fractions (sum ≤ 1, remainder goes
+	// to the stream class) and footprints in bytes.
+	StackFrac, PointerFrac    float64
+	StackBytes                uint64
+	StreamBytes, PointerBytes uint64
+	StreamStride              uint64
+	Streams                   int // concurrent stream cursors
+	// Pointer accesses have a three-tier skewed working set, standing in
+	// for the reuse skew of real pointer structures: with probability
+	// PtrL1Prob the access falls in the first PtrL1Bytes (an L1-scale
+	// working set), else with probability PtrHotProb in the first
+	// PtrHotBytes (an L2-scale working set), else anywhere in
+	// PointerBytes (DRAM-scale).
+	PtrL1Prob   float64
+	PtrL1Bytes  uint64
+	PtrHotProb  float64
+	PtrHotBytes uint64
+}
+
+// paper benchmark names in the order of Table 3.
+var tableOrder = []string{
+	"mcf", "crafty", "parser", "perlbmk", "vortex", "twolf", "equake", "ammp",
+}
+
+// extraOrder lists additional SPEC CPU2000-like workloads beyond the
+// eight the paper evaluates, for studies that want a wider suite.
+var extraOrder = []string{"gzip", "gcc", "bzip2", "vpr"}
+
+// profiles are tuned so the *qualitative* behaviours the paper reports
+// emerge from simulation: mcf is memory bound (dominant splits on L2
+// latency / L2 size), vortex has a large code footprint and
+// latency-sensitive D-cache behaviour (splits on dl1_lat and il1_size),
+// and the FP codes equake/ammp behave smoothly (lowest max model error).
+var profiles = map[string]Profile{
+	"mcf": {
+		Name: "mcf", LoadFrac: 0.30, StoreFrac: 0.09, BranchFrac: 0.18,
+		MeanDepDist: 2.2, SecondDepProb: 0.35, ChaseDepProb: 0.6, StoreReuseProb: 0.06,
+		CodeBlocks: 70, BlockMin: 4, BlockMax: 10, HotFrac: 0.2, HotProb: 0.95,
+		PatternFrac: 0.86, BranchBias: 0.72, BranchNoise: 0.015,
+		StackFrac: 0.25, PointerFrac: 0.55, StackBytes: 4 << 10,
+		StreamBytes: 4 << 20, PointerBytes: 24 << 20, StreamStride: 16, Streams: 2,
+		PtrL1Prob: 0.60, PtrL1Bytes: 32 << 10, PtrHotProb: 0.25, PtrHotBytes: 600 << 10,
+	},
+	"crafty": {
+		Name: "crafty", LoadFrac: 0.27, StoreFrac: 0.07, BranchFrac: 0.22, IntMulFrac: 0.01,
+		MeanDepDist: 4.0, SecondDepProb: 0.45, ChaseDepProb: 0.2, StoreReuseProb: 0.12,
+		CodeBlocks: 1500, BlockMin: 4, BlockMax: 12, HotFrac: 0.12, HotProb: 0.93,
+		PatternFrac: 0.88, BranchBias: 0.6, BranchNoise: 0.02,
+		StackFrac: 0.5, PointerFrac: 0.2, StackBytes: 8 << 10,
+		StreamBytes: 512 << 10, PointerBytes: 1 << 20, StreamStride: 8, Streams: 4,
+		PtrL1Prob: 0.88, PtrL1Bytes: 16 << 10, PtrHotProb: 0.09, PtrHotBytes: 200 << 10,
+	},
+	"parser": {
+		Name: "parser", LoadFrac: 0.25, StoreFrac: 0.11, BranchFrac: 0.20,
+		MeanDepDist: 3.2, SecondDepProb: 0.4, ChaseDepProb: 0.5, StoreReuseProb: 0.1,
+		CodeBlocks: 800, BlockMin: 4, BlockMax: 10, HotFrac: 0.15, HotProb: 0.92,
+		PatternFrac: 0.9, BranchBias: 0.65, BranchNoise: 0.015,
+		StackFrac: 0.45, PointerFrac: 0.35, StackBytes: 6 << 10,
+		StreamBytes: 1 << 20, PointerBytes: 6 << 20, StreamStride: 8, Streams: 3,
+		PtrL1Prob: 0.82, PtrL1Bytes: 24 << 10, PtrHotProb: 0.13, PtrHotBytes: 500 << 10,
+	},
+	"perlbmk": {
+		Name: "perlbmk", LoadFrac: 0.27, StoreFrac: 0.14, BranchFrac: 0.22,
+		MeanDepDist: 3.0, SecondDepProb: 0.4, ChaseDepProb: 0.4, StoreReuseProb: 0.14,
+		CodeBlocks: 2000, BlockMin: 4, BlockMax: 12, HotFrac: 0.1, HotProb: 0.92,
+		PatternFrac: 0.84, BranchBias: 0.6, BranchNoise: 0.025,
+		StackFrac: 0.5, PointerFrac: 0.3, StackBytes: 8 << 10,
+		StreamBytes: 1 << 20, PointerBytes: 2 << 20, StreamStride: 8, Streams: 3,
+		PtrL1Prob: 0.85, PtrL1Bytes: 32 << 10, PtrHotProb: 0.11, PtrHotBytes: 300 << 10,
+	},
+	"vortex": {
+		Name: "vortex", LoadFrac: 0.31, StoreFrac: 0.16, BranchFrac: 0.16,
+		MeanDepDist: 3.5, SecondDepProb: 0.4, ChaseDepProb: 0.3, StoreReuseProb: 0.15,
+		CodeBlocks: 2800, BlockMin: 5, BlockMax: 13, HotFrac: 0.12, HotProb: 0.92,
+		PatternFrac: 0.94, BranchBias: 0.7, BranchNoise: 0.008,
+		StackFrac: 0.5, PointerFrac: 0.22, StackBytes: 8 << 10,
+		StreamBytes: 768 << 10, PointerBytes: 3 << 20, StreamStride: 8, Streams: 4,
+		PtrL1Prob: 0.9, PtrL1Bytes: 24 << 10, PtrHotProb: 0.07, PtrHotBytes: 300 << 10,
+	},
+	"twolf": {
+		Name: "twolf", LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.18, FPALUFrac: 0.03,
+		MeanDepDist: 3.0, SecondDepProb: 0.4, ChaseDepProb: 0.55, StoreReuseProb: 0.08,
+		CodeBlocks: 550, BlockMin: 4, BlockMax: 10, HotFrac: 0.15, HotProb: 0.93,
+		PatternFrac: 0.87, BranchBias: 0.62, BranchNoise: 0.02,
+		StackFrac: 0.4, PointerFrac: 0.4, StackBytes: 6 << 10,
+		StreamBytes: 512 << 10, PointerBytes: 2500 << 10, StreamStride: 8, Streams: 2,
+		PtrL1Prob: 0.78, PtrL1Bytes: 24 << 10, PtrHotProb: 0.16, PtrHotBytes: 400 << 10,
+	},
+	"equake": {
+		Name: "equake", LoadFrac: 0.30, StoreFrac: 0.10, BranchFrac: 0.08,
+		FPALUFrac: 0.25, FPMulFrac: 0.12,
+		MeanDepDist: 6.0, SecondDepProb: 0.5, ChaseDepProb: 0.05, StoreReuseProb: 0.05,
+		CodeBlocks: 260, BlockMin: 6, BlockMax: 14, HotFrac: 0.2, HotProb: 0.97,
+		PatternFrac: 0.97, BranchBias: 0.88, BranchNoise: 0.008,
+		StackFrac: 0.15, PointerFrac: 0.05, StackBytes: 4 << 10,
+		StreamBytes: 5 << 20, PointerBytes: 1 << 20, StreamStride: 8, Streams: 8,
+		PtrL1Prob: 0.8, PtrL1Bytes: 16 << 10, PtrHotProb: 0.15, PtrHotBytes: 128 << 10,
+	},
+	"ammp": {
+		Name: "ammp", LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.07,
+		FPALUFrac: 0.28, FPMulFrac: 0.14, FPDivFrac: 0.01,
+		MeanDepDist: 5.0, SecondDepProb: 0.5, ChaseDepProb: 0.1, StoreReuseProb: 0.05,
+		CodeBlocks: 320, BlockMin: 6, BlockMax: 14, HotFrac: 0.2, HotProb: 0.96,
+		PatternFrac: 0.96, BranchBias: 0.9, BranchNoise: 0.01,
+		StackFrac: 0.2, PointerFrac: 0.1, StackBytes: 4 << 10,
+		StreamBytes: 4 << 20, PointerBytes: 2 << 20, StreamStride: 8, Streams: 5,
+		PtrL1Prob: 0.8, PtrL1Bytes: 16 << 10, PtrHotProb: 0.15, PtrHotBytes: 256 << 10,
+	},
+}
+
+var extraProfiles = map[string]Profile{
+	"gzip": { // compression: tight loops, small code, streaming window
+		Name: "gzip", LoadFrac: 0.24, StoreFrac: 0.12, BranchFrac: 0.17,
+		MeanDepDist: 3.5, SecondDepProb: 0.45, ChaseDepProb: 0.15, StoreReuseProb: 0.1,
+		CodeBlocks: 220, BlockMin: 4, BlockMax: 11, HotFrac: 0.25, HotProb: 0.96,
+		PatternFrac: 0.85, BranchBias: 0.65, BranchNoise: 0.02,
+		StackFrac: 0.35, PointerFrac: 0.15, StackBytes: 6 << 10,
+		StreamBytes: 384 << 10, PointerBytes: 1 << 20, StreamStride: 8, Streams: 3,
+		PtrL1Prob: 0.8, PtrL1Bytes: 16 << 10, PtrHotProb: 0.15, PtrHotBytes: 192 << 10,
+	},
+	"gcc": { // compiler: huge code footprint, branchy, pointer-heavy
+		Name: "gcc", LoadFrac: 0.26, StoreFrac: 0.13, BranchFrac: 0.2,
+		MeanDepDist: 3.2, SecondDepProb: 0.42, ChaseDepProb: 0.45, StoreReuseProb: 0.12,
+		CodeBlocks: 3600, BlockMin: 4, BlockMax: 11, HotFrac: 0.08, HotProb: 0.9,
+		PatternFrac: 0.8, BranchBias: 0.6, BranchNoise: 0.03,
+		StackFrac: 0.45, PointerFrac: 0.35, StackBytes: 10 << 10,
+		StreamBytes: 512 << 10, PointerBytes: 4 << 20, StreamStride: 8, Streams: 2,
+		PtrL1Prob: 0.8, PtrL1Bytes: 24 << 10, PtrHotProb: 0.13, PtrHotBytes: 400 << 10,
+	},
+	"bzip2": { // block-sort compression: large streaming buffers
+		Name: "bzip2", LoadFrac: 0.28, StoreFrac: 0.11, BranchFrac: 0.14,
+		MeanDepDist: 4.0, SecondDepProb: 0.45, ChaseDepProb: 0.3, StoreReuseProb: 0.08,
+		CodeBlocks: 180, BlockMin: 5, BlockMax: 13, HotFrac: 0.3, HotProb: 0.97,
+		PatternFrac: 0.88, BranchBias: 0.68, BranchNoise: 0.015,
+		StackFrac: 0.2, PointerFrac: 0.25, StackBytes: 4 << 10,
+		StreamBytes: 3 << 20, PointerBytes: 4 << 20, StreamStride: 8, Streams: 4,
+		PtrL1Prob: 0.7, PtrL1Bytes: 32 << 10, PtrHotProb: 0.2, PtrHotBytes: 700 << 10,
+	},
+	"vpr": { // place & route: mid-size pointer graphs, FP sprinkled in
+		Name: "vpr", LoadFrac: 0.26, StoreFrac: 0.09, BranchFrac: 0.16, FPALUFrac: 0.08, FPMulFrac: 0.03,
+		MeanDepDist: 3.4, SecondDepProb: 0.42, ChaseDepProb: 0.5, StoreReuseProb: 0.08,
+		CodeBlocks: 700, BlockMin: 4, BlockMax: 11, HotFrac: 0.14, HotProb: 0.93,
+		PatternFrac: 0.8, BranchBias: 0.63, BranchNoise: 0.025,
+		StackFrac: 0.4, PointerFrac: 0.38, StackBytes: 8 << 10,
+		StreamBytes: 512 << 10, PointerBytes: 3 << 20, StreamStride: 8, Streams: 2,
+		PtrL1Prob: 0.78, PtrL1Bytes: 24 << 10, PtrHotProb: 0.16, PtrHotBytes: 500 << 10,
+	},
+}
+
+func init() {
+	for name, p := range extraProfiles {
+		profiles[name] = p
+	}
+}
+
+// ExtraNames lists the additional (non-paper) workload profiles.
+func ExtraNames() []string {
+	out := make([]string, len(extraOrder))
+	copy(out, extraOrder)
+	return out
+}
+
+// ByName returns the named benchmark profile.
+func ByName(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// Names lists the eight benchmark profiles in the paper's Table 3 order.
+func Names() []string {
+	out := make([]string, len(tableOrder))
+	copy(out, tableOrder)
+	return out
+}
+
+// AllProfiles returns every profile sorted by name.
+func AllProfiles() []Profile {
+	out := make([]Profile, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Validate checks a profile for internal consistency.
+func (p Profile) Validate() error {
+	mix := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.IntMulFrac + p.IntDivFrac +
+		p.FPALUFrac + p.FPMulFrac + p.FPDivFrac
+	if mix > 1 {
+		return fmt.Errorf("trace: %s op mix sums to %v > 1", p.Name, mix)
+	}
+	if p.StackFrac+p.PointerFrac > 1 {
+		return fmt.Errorf("trace: %s address mix exceeds 1", p.Name)
+	}
+	if p.CodeBlocks < 2 || p.BlockMin < 2 || p.BlockMax < p.BlockMin {
+		return fmt.Errorf("trace: %s has invalid code structure", p.Name)
+	}
+	if p.HotFrac <= 0 || p.HotFrac > 1 || p.HotProb < 0 || p.HotProb > 1 {
+		return fmt.Errorf("trace: %s has invalid hot-region parameters", p.Name)
+	}
+	return nil
+}
