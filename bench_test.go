@@ -233,6 +233,38 @@ func BenchmarkAblationSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipeline measures the end-to-end model-building
+// pipeline — best-of-K LHS with discrepancy scoring, design-point
+// simulation, the (p_min, α) RBF grid search, and test-set validation —
+// with the serial path (Parallel=1) against the default parallel path
+// (Parallel=0 → one worker per CPU). The two sub-benchmarks build
+// bit-identical models; `go run ./cmd/benchparallel` runs the same
+// pipeline standalone and records the speedup in BENCH_parallel.json.
+func BenchmarkParallelPipeline(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh evaluator each iteration so the simulation stage
+				// does real work instead of hitting the memoization cache.
+				ev, err := core.NewSimEvaluator("mcf", 20_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt := core.Options{LHSCandidates: 16, Seed: 3, Parallel: bc.workers}
+				m, err := core.BuildRBFModel(ev, 40, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := core.NewTestSetWorkers(ev, nil, 20, 80, bc.workers)
+				m.Validate(ts)
+			}
+		})
+	}
+}
+
 // Component microbenchmarks: the cost centers of the pipeline.
 
 func BenchmarkSimulatorRun(b *testing.B) {

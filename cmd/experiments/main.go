@@ -2,7 +2,10 @@
 // evaluation (§4) plus the ablation studies, printing each as a text
 // table. -scale selects between the full paper-sized runs and a quick
 // reduced-cost configuration; -out additionally writes the report to a
-// file; -only restricts to a comma-separated subset of experiment ids
+// file; -parallel bounds the worker goroutines used to fan independent
+// benchmarks and sample sizes out (0 = all CPUs, 1 = serial — the
+// rendered results are identical); -only restricts to a comma-separated
+// subset of experiment ids
 // (table1, figure2, table3, table4, table5, figure1, figure4, figure5,
 // figure6, figure7, ablations, families, adaptive, significance, power,
 // validation, extended, screening, statsim).
@@ -27,6 +30,7 @@ func main() {
 	scaleName := flag.String("scale", "paper", "experiment scale: paper or quick")
 	out := flag.String("out", "", "also write the report to this file")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the fan-out (0 = all CPUs, 1 = serial); results are identical either way")
 	flag.Parse()
 
 	var scale exper.Scale
@@ -38,6 +42,7 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q (want paper or quick)", *scaleName)
 	}
+	scale.Workers = *parallel
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

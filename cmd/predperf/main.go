@@ -38,7 +38,7 @@ func main() {
 	testN := flag.Int("test", 50, "random test points for validation")
 	candidates := flag.Int("lhs", 100, "latin hypercube candidates scored by discrepancy")
 	seed := flag.Int64("seed", 1, "sampling seed")
-	parallel := flag.Int("parallel", 1, "simulation workers")
+	parallel := flag.Int("parallel", 0, "pipeline workers (0 = all CPUs, 1 = serial); the model is identical either way")
 	metricName := flag.String("metric", "cpi", "response to model: cpi, epi, edp, or power")
 	linear := flag.Bool("linear", false, "also fit and validate the linear baseline")
 	adaptiveFlag := flag.Bool("adaptive", false, "use adaptive sampling (§6 extension) at the same budget")

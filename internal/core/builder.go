@@ -4,10 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
+	"runtime"
 
 	"predperf/internal/design"
 	"predperf/internal/linreg"
+	"predperf/internal/par"
 	"predperf/internal/rbf"
 	"predperf/internal/sample"
 )
@@ -19,8 +20,13 @@ type Options struct {
 	LHSCandidates int           // latin hypercube draws scored by discrepancy
 	RBF           rbf.Options   // (p_min, α) grids etc.
 	Seed          int64         // sampling seed
-	// Parallel simulates sample points with this many workers (results
-	// are deterministic regardless of the setting). 0 or 1 = serial.
+	// Parallel bounds the worker goroutines used by every stage of the
+	// build — LHS candidate scoring, design-point simulation, and the
+	// (p_min, α) grid search. 0 (the default) means one worker per CPU
+	// (runtime.GOMAXPROCS(0)); 1 forces the serial path; n > 1 uses
+	// exactly n workers. The built model is bit-identical regardless of
+	// the setting: all parallel stages write to fixed result slots and
+	// never share RNG state across goroutines.
 	Parallel int
 }
 
@@ -33,6 +39,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.RBF.Workers == 0 {
+		o.RBF.Workers = o.Parallel
 	}
 	return o
 }
@@ -68,7 +80,7 @@ func (m *Model) PredictConfig(cfg design.Config) float64 {
 // several workers.
 func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point, cfgs []design.Config, ys []float64, disc float64) {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	raw, disc := sample.BestLHS(opt.Space, size, opt.LHSCandidates, rng)
+	raw, disc := sample.BestLHSWorkers(opt.Space, size, opt.LHSCandidates, rng, opt.Parallel)
 	pts = make([]design.Point, len(raw))
 	cfgs = make([]design.Config, len(raw))
 	ys = make([]float64, len(raw))
@@ -85,31 +97,9 @@ func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point,
 // workers > 1. Responses land at fixed indices, so results are
 // deterministic for a deterministic evaluator.
 func evalAll(ev Evaluator, cfgs []design.Config, ys []float64, workers int) {
-	if workers <= 1 || len(cfgs) < 2 {
-		for i, cfg := range cfgs {
-			ys[i] = ev.Eval(cfg)
-		}
-		return
-	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				ys[i] = ev.Eval(cfgs[i])
-			}
-		}()
-	}
-	for i := range cfgs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	par.For(workers, len(cfgs), func(i int) {
+		ys[i] = ev.Eval(cfgs[i])
+	})
 }
 
 // BuildRBFModel runs the paper's model construction procedure at one

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"predperf/internal/design"
@@ -206,33 +207,117 @@ func mid(s *design.Space) design.Point {
 }
 
 func TestParallelBuildMatchesSerial(t *testing.T) {
+	opt := fastOpt()
+	opt.Parallel = 1
 	ev, err := NewSimEvaluator("twolf", 6000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt := fastOpt()
 	serial, err := BuildRBFModel(ev, 25, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Fresh evaluator so the parallel path actually simulates.
-	ev2, err := NewSimEvaluator("twolf", 6000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt.Parallel = 4
-	par, err := BuildRBFModel(ev2, 25, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range serial.Responses {
-		if serial.Responses[i] != par.Responses[i] {
-			t.Fatalf("response %d differs: %v vs %v", i, serial.Responses[i], par.Responses[i])
+	pt := mid(design.PaperSpace())
+	for _, workers := range []int{0, 2, 4, 8} {
+		// Fresh evaluator so the parallel path actually simulates.
+		ev2, err := NewSimEvaluator("twolf", 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Parallel = workers
+		opt.RBF.Workers = workers
+		par, err := BuildRBFModel(ev2, 25, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Discrepancy != serial.Discrepancy {
+			t.Fatalf("workers=%d: discrepancy %v != serial %v", workers, par.Discrepancy, serial.Discrepancy)
+		}
+		for i := range serial.Responses {
+			if serial.Responses[i] != par.Responses[i] {
+				t.Fatalf("workers=%d: response %d differs: %v vs %v", workers, i, serial.Responses[i], par.Responses[i])
+			}
+			for k := range serial.Points[i] {
+				if serial.Points[i][k] != par.Points[i][k] {
+					t.Fatalf("workers=%d: sample point %d differs", workers, i)
+				}
+			}
+		}
+		if par.Fit.PMin != serial.Fit.PMin || par.Fit.Alpha != serial.Fit.Alpha {
+			t.Fatalf("workers=%d: selected (%d, %v), serial (%d, %v)",
+				workers, par.Fit.PMin, par.Fit.Alpha, serial.Fit.PMin, serial.Fit.Alpha)
+		}
+		if serial.Predict(pt) != par.Predict(pt) {
+			t.Fatalf("workers=%d: parallel build produced a different model", workers)
 		}
 	}
-	pt := mid(design.PaperSpace())
-	if serial.Predict(pt) != par.Predict(pt) {
-		t.Fatal("parallel build produced a different model")
+}
+
+func TestEvalAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	space := design.PaperSpace()
+	cfgs := make([]design.Config, 40)
+	for i := range cfgs {
+		pt := make(design.Point, space.N())
+		for k := range pt {
+			pt[k] = float64((i*7+k*3)%11) / 10
+		}
+		cfgs[i] = space.Decode(pt, len(cfgs))
+	}
+	want := make([]float64, len(cfgs))
+	evalAll(ev, cfgs, want, 1)
+	for _, workers := range []int{2, 3, 8, 100} {
+		got := make([]float64, len(cfgs))
+		evalAll(ev, cfgs, got, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: ys[%d] = %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTestSetIdenticalAcrossWorkerCounts(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	want := NewTestSetWorkers(ev, nil, 30, 17, 1)
+	for _, workers := range []int{0, 2, 6} {
+		got := NewTestSetWorkers(ev, nil, 30, 17, workers)
+		for i := range want.Configs {
+			if got.Configs[i] != want.Configs[i] {
+				t.Fatalf("workers=%d: config %d differs", workers, i)
+			}
+			if got.Actual[i] != want.Actual[i] {
+				t.Fatalf("workers=%d: response %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSimCacheSingleFlight(t *testing.T) {
+	ev, err := NewSimEvaluator("equake", 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := design.PaperSpace().Decode(mid(design.PaperSpace()), 50)
+	// Hammer one configuration from many goroutines: single-flight must
+	// collapse the concurrent misses into exactly one simulation.
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for g := range results {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = ev.Eval(cfg)
+		}()
+	}
+	wg.Wait()
+	if n := ev.Simulations(); n != 1 {
+		t.Fatalf("%d simulations for one config under concurrency, want 1", n)
+	}
+	for _, r := range results {
+		if r != results[0] {
+			t.Fatalf("divergent concurrent results: %v", results)
+		}
 	}
 }
 

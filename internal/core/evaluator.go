@@ -67,11 +67,21 @@ type SimEvaluator struct {
 }
 
 // simCache is the memoization state shared by all metric views of one
-// evaluator.
+// evaluator. Lookups take only a read lock, so concurrent workers that
+// hit the cache never serialize on each other; each distinct
+// configuration is guarded by a single-flight entry so that concurrent
+// misses on the same key run the simulator exactly once (the losers
+// block on the entry's Once until the winner publishes the result).
 type simCache struct {
-	mu    sync.Mutex
-	cache map[string]sim.Result
+	mu    sync.RWMutex
+	cache map[string]*simEntry
 	sims  int
+}
+
+// simEntry is the single-flight slot for one configuration.
+type simEntry struct {
+	once sync.Once
+	res  sim.Result
 }
 
 // NewSimEvaluator builds a CPI evaluator for one of the benchmark
@@ -85,7 +95,7 @@ func NewSimEvaluator(benchmark string, traceLen int) (*SimEvaluator, error) {
 		Benchmark: benchmark,
 		TraceLen:  traceLen,
 		tr:        tr,
-		state:     &simCache{cache: map[string]sim.Result{}},
+		state:     &simCache{cache: map[string]*simEntry{}},
 	}, nil
 }
 
@@ -98,33 +108,39 @@ func (e *SimEvaluator) WithMetric(m Metric) *SimEvaluator {
 	}
 }
 
-// result returns the memoized full simulation result for cfg.
-func (e *SimEvaluator) result(cfg design.Config) sim.Result {
-	key := cfg.Key()
-	st := e.state
-	st.mu.Lock()
-	if v, ok := st.cache[key]; ok {
-		st.mu.Unlock()
-		return v
-	}
-	st.mu.Unlock()
-
+// resolve returns the simulator machine description for cfg together
+// with its memoized result, constructing the machine description exactly
+// once per call (the metric accessors below reuse it). Concurrent misses
+// on the same configuration single-flight through the entry's Once.
+func (e *SimEvaluator) resolve(cfg design.Config) (sim.Config, sim.Result) {
 	sc := sim.FromDesign(cfg)
 	sc.WarmupInsts = e.TraceLen / 5 // discard cold-start statistics
-	res := sim.Run(sc, e.tr)
-
-	st.mu.Lock()
-	st.cache[key] = res
-	st.sims++
-	st.mu.Unlock()
-	return res
+	key := cfg.Key()
+	st := e.state
+	st.mu.RLock()
+	ent, ok := st.cache[key]
+	st.mu.RUnlock()
+	if !ok {
+		st.mu.Lock()
+		if ent, ok = st.cache[key]; !ok {
+			ent = &simEntry{}
+			st.cache[key] = ent
+		}
+		st.mu.Unlock()
+	}
+	ent.once.Do(func() {
+		ent.res = sim.Run(sc, e.tr)
+		st.mu.Lock()
+		st.sims++
+		st.mu.Unlock()
+	})
+	return sc, ent.res
 }
 
 // Eval returns the configured metric for cfg, running the simulator on
 // a cache miss.
 func (e *SimEvaluator) Eval(cfg design.Config) float64 {
-	res := e.result(cfg)
-	sc := sim.FromDesign(cfg)
+	sc, res := e.resolve(cfg)
 	switch e.Metric {
 	case MetricEPI:
 		return res.EPI(sc) / 1000 // nJ
@@ -140,15 +156,16 @@ func (e *SimEvaluator) Eval(cfg design.Config) float64 {
 // Simulations reports how many distinct simulations have been run — the
 // "simulation cost" the paper optimizes.
 func (e *SimEvaluator) Simulations() int {
-	e.state.mu.Lock()
-	defer e.state.mu.Unlock()
+	e.state.mu.RLock()
+	defer e.state.mu.RUnlock()
 	return e.state.sims
 }
 
 // Detail returns the full simulator statistics at cfg (memoized; used
 // by diagnostics such as the response-surface study of Figure 1).
 func (e *SimEvaluator) Detail(cfg design.Config) sim.Result {
-	return e.result(cfg)
+	_, res := e.resolve(cfg)
+	return res
 }
 
 // FuncEvaluator adapts a plain function, for tests and synthetic

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"predperf/internal/design"
+	"predperf/internal/par"
 	"predperf/internal/rbf"
 	"predperf/internal/sample"
 )
@@ -53,8 +54,19 @@ type TestSet struct {
 
 // NewTestSet draws n uniform random points from testSpace (Table 2 by
 // default when nil), simulates them, and returns the paired data. The
-// generated points are independent of any training sample.
+// generated points are independent of any training sample. Simulation
+// runs on all CPUs; see NewTestSetWorkers for an explicit worker count.
 func NewTestSet(ev Evaluator, testSpace *design.Space, n int, seed int64) *TestSet {
+	return NewTestSetWorkers(ev, testSpace, n, seed, 0)
+}
+
+// NewTestSetWorkers is NewTestSet with an explicit worker count
+// (par.Workers semantics: 1 = serial, <= 0 = all CPUs). The points are
+// drawn serially from the seeded RNG before any simulation starts, and
+// the responses are filled through the same fixed-slot evalAll path the
+// training sample uses, so the test set is identical for every worker
+// count.
+func NewTestSetWorkers(ev Evaluator, testSpace *design.Space, n int, seed int64, workers int) *TestSet {
 	if testSpace == nil {
 		testSpace = design.TestSpace()
 	}
@@ -68,10 +80,9 @@ func NewTestSet(ev Evaluator, testSpace *design.Space, n int, seed int64) *TestS
 		Actual:  make([]float64, n),
 	}
 	for i, p := range pts {
-		cfg := testSpace.Decode(p, n)
-		ts.Configs[i] = cfg
-		ts.Actual[i] = ev.Eval(cfg)
+		ts.Configs[i] = testSpace.Decode(p, n)
 	}
+	evalAll(ev, ts.Configs, ts.Actual, par.Workers(workers))
 	return ts
 }
 
@@ -83,9 +94,9 @@ type predictor interface {
 
 func validateOn(m predictor, space *design.Space, ts *TestSet) ErrorStats {
 	pred := make([]float64, len(ts.Configs))
-	for i, cfg := range ts.Configs {
-		pred[i] = m.Predict(space.Encode(cfg))
-	}
+	par.For(par.Workers(0), len(ts.Configs), func(i int) {
+		pred[i] = m.Predict(space.Encode(ts.Configs[i]))
+	})
 	return errorStats(pred, ts.Actual)
 }
 

@@ -336,3 +336,107 @@ func TestRelatedWorkQuick(t *testing.T) {
 		t.Fatalf("synthetic trace does not preserve configuration ordering:\n%s", ss)
 	}
 }
+
+// tinyScale is a reduced configuration for the fan-out determinism test:
+// small enough to run twice (serial and parallel) under -race.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.Name = "tiny"
+	s.TraceLen = 5_000
+	s.SampleSizes = []int{16, 24}
+	s.FullSize = 24
+	s.TestPoints = 8
+	s.LHSCandidates = 6
+	s.Benchmarks = []string{"mcf", "equake"}
+	s.SweepBench = []string{"mcf"}
+	return s
+}
+
+// TestFanOutMatchesSerial drives the fanned-out experiment pipeline at
+// two worker settings and requires byte-identical renderings: the same
+// samples, discrepancies, selected (p_min, α), and error tables.
+func TestFanOutMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fan-out determinism sweep in -short mode")
+	}
+	render := func(workers int) string {
+		s := tinyScale()
+		s.Workers = workers
+		r := NewRunner(s)
+		var b strings.Builder
+		t3, err := RunTable3(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(t3.String())
+		t4, err := RunTable4(r, "mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(t4.String())
+		t5, err := RunTable5(r, "mcf", "equake")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(t5.String())
+		f4, err := RunFigure4(r, "mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f4.String())
+		f7, err := RunFigure7(r, "mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f7.String())
+		f1, err := RunFigure1(r, "mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(f1.String())
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("parallel fan-out diverged from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestRunnerSingleFlight fans many concurrent requests for the same
+// model at the runner and requires exactly one build (one pointer).
+func TestRunnerSingleFlight(t *testing.T) {
+	s := tinyScale()
+	r := NewRunner(s)
+	results := make([]interface{}, 12)
+	done := make(chan int, len(results))
+	for g := range results {
+		go func() {
+			m, err := r.Model("mcf", 16)
+			if err != nil {
+				results[g] = err
+			} else {
+				results[g] = m
+			}
+			done <- g
+		}()
+	}
+	for range results {
+		<-done
+	}
+	for _, v := range results {
+		if err, ok := v.(error); ok {
+			t.Fatal(err)
+		}
+		if v != results[0] {
+			t.Fatal("concurrent Model calls returned distinct builds")
+		}
+	}
+	ev, err := r.Evaluator("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ev.Simulations(); n > 16 {
+		t.Fatalf("%d simulations for a 16-point model, want <= 16", n)
+	}
+}

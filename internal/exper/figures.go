@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"predperf/internal/design"
+	"predperf/internal/par"
 	"predperf/internal/plot"
 	"predperf/internal/sample"
 )
@@ -20,7 +21,8 @@ type Figure1 struct {
 	CPI       [][]float64 // [il1][lat]
 }
 
-// RunFigure1 simulates the grid.
+// RunFigure1 simulates the grid, fanning the independent cells out
+// across the runner's workers into fixed (row, column) slots.
 func RunFigure1(r *Runner, bench string) (*Figure1, error) {
 	ev, err := r.Evaluator(bench)
 	if err != nil {
@@ -28,16 +30,18 @@ func RunFigure1(r *Runner, bench string) (*Figure1, error) {
 	}
 	base := r.midConfig()
 	out := &Figure1{Benchmark: bench, IL1KB: r.Scale.GridIL1, L2Lat: r.Scale.GridL2Lat}
-	for _, il1 := range out.IL1KB {
-		row := make([]float64, len(out.L2Lat))
-		for j, lat := range out.L2Lat {
-			cfg := base
-			cfg.IL1SizeKB = il1
-			cfg.L2Lat = lat
-			row[j] = ev.Eval(cfg)
-		}
-		out.CPI = append(out.CPI, row)
+	out.CPI = make([][]float64, len(out.IL1KB))
+	for i := range out.CPI {
+		out.CPI[i] = make([]float64, len(out.L2Lat))
 	}
+	cols := len(out.L2Lat)
+	par.For(r.Workers(), len(out.IL1KB)*cols, func(c int) {
+		i, j := c/cols, c%cols
+		cfg := base
+		cfg.IL1SizeKB = out.IL1KB[i]
+		cfg.L2Lat = out.L2Lat[j]
+		out.CPI[i][j] = ev.Eval(cfg)
+	})
 	return out, nil
 }
 
@@ -109,24 +113,31 @@ type Figure4 struct {
 	Order  []string
 }
 
-// RunFigure4 sweeps sample sizes for the named benchmarks.
+// RunFigure4 sweeps sample sizes for the named benchmarks. Every
+// (benchmark, size) cell is independent — the runner's single-flight
+// caches keep concurrent cells from duplicating evaluator or test-set
+// construction — so the whole cross product fans out at once and the
+// curves are reassembled in sweep order.
 func RunFigure4(r *Runner, benches ...string) (*Figure4, error) {
 	out := &Figure4{Curves: map[string][]Figure4Point{}, Order: benches}
-	for _, bench := range benches {
-		ts, err := r.TestSet(bench)
+	cells := crossBenchSizes(benches, r.Scale.SampleSizes)
+	pts, err := par.MapErr(r.Workers(), cells, func(_ int, c benchSize) (Figure4Point, error) {
+		ts, err := r.TestSet(c.bench)
 		if err != nil {
-			return nil, err
+			return Figure4Point{}, err
 		}
-		for _, size := range r.Scale.SampleSizes {
-			m, err := r.Model(bench, size)
-			if err != nil {
-				return nil, err
-			}
-			st := m.Validate(ts)
-			out.Curves[bench] = append(out.Curves[bench], Figure4Point{
-				SampleSize: size, Mean: st.Mean, Std: st.Std, Max: st.Max,
-			})
+		m, err := r.Model(c.bench, c.size)
+		if err != nil {
+			return Figure4Point{}, err
 		}
+		st := m.Validate(ts)
+		return Figure4Point{SampleSize: c.size, Mean: st.Mean, Std: st.Std, Max: st.Max}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		out.Curves[c.bench] = append(out.Curves[c.bench], pts[i])
 	}
 	return out, nil
 }
@@ -212,7 +223,7 @@ type Figure6 struct {
 }
 
 // RunFigure6 evaluates the grid against both the simulator and the
-// full-size model.
+// full-size model, fanning the independent cells out across workers.
 func RunFigure6(r *Runner, bench string) (*Figure6, error) {
 	ev, err := r.Evaluator(bench)
 	if err != nil {
@@ -224,19 +235,21 @@ func RunFigure6(r *Runner, bench string) (*Figure6, error) {
 	}
 	base := r.midConfig()
 	out := &Figure6{Benchmark: bench, IL1KB: r.Scale.GridIL1, L2Lat: r.Scale.GridL2Lat}
-	for _, il1 := range out.IL1KB {
-		simRow := make([]float64, len(out.L2Lat))
-		prdRow := make([]float64, len(out.L2Lat))
-		for j, lat := range out.L2Lat {
-			cfg := base
-			cfg.IL1SizeKB = il1
-			cfg.L2Lat = lat
-			simRow[j] = ev.Eval(cfg)
-			prdRow[j] = m.PredictConfig(cfg)
-		}
-		out.Simulated = append(out.Simulated, simRow)
-		out.Predicted = append(out.Predicted, prdRow)
+	out.Simulated = make([][]float64, len(out.IL1KB))
+	out.Predicted = make([][]float64, len(out.IL1KB))
+	for i := range out.IL1KB {
+		out.Simulated[i] = make([]float64, len(out.L2Lat))
+		out.Predicted[i] = make([]float64, len(out.L2Lat))
 	}
+	cols := len(out.L2Lat)
+	par.For(r.Workers(), len(out.IL1KB)*cols, func(c int) {
+		i, j := c/cols, c%cols
+		cfg := base
+		cfg.IL1SizeKB = out.IL1KB[i]
+		cfg.L2Lat = out.L2Lat[j]
+		out.Simulated[i][j] = ev.Eval(cfg)
+		out.Predicted[i][j] = m.PredictConfig(cfg)
+	})
 	return out, nil
 }
 
@@ -317,29 +330,35 @@ type Figure7 struct {
 	Order  []string
 }
 
-// RunFigure7 builds both model families on identical samples.
+// RunFigure7 builds both model families on identical samples, fanning
+// the (benchmark, size) cross product out across workers.
 func RunFigure7(r *Runner, benches ...string) (*Figure7, error) {
 	out := &Figure7{Curves: map[string][]Figure7Point{}, Order: benches}
-	for _, bench := range benches {
-		ts, err := r.TestSet(bench)
+	cells := crossBenchSizes(benches, r.Scale.SampleSizes)
+	pts, err := par.MapErr(r.Workers(), cells, func(_ int, c benchSize) (Figure7Point, error) {
+		ts, err := r.TestSet(c.bench)
 		if err != nil {
-			return nil, err
+			return Figure7Point{}, err
 		}
-		for _, size := range r.Scale.SampleSizes {
-			m, err := r.Model(bench, size)
-			if err != nil {
-				return nil, err
-			}
-			lm, err := r.Linear(bench, size)
-			if err != nil {
-				return nil, err
-			}
-			out.Curves[bench] = append(out.Curves[bench], Figure7Point{
-				SampleSize: size,
-				RBFMean:    m.Validate(ts).Mean,
-				LinearMean: lm.Validate(ts).Mean,
-			})
+		m, err := r.Model(c.bench, c.size)
+		if err != nil {
+			return Figure7Point{}, err
 		}
+		lm, err := r.Linear(c.bench, c.size)
+		if err != nil {
+			return Figure7Point{}, err
+		}
+		return Figure7Point{
+			SampleSize: c.size,
+			RBFMean:    m.Validate(ts).Mean,
+			LinearMean: lm.Validate(ts).Mean,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		out.Curves[c.bench] = append(out.Curves[c.bench], pts[i])
 	}
 	return out, nil
 }

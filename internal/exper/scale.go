@@ -27,6 +27,10 @@ type Scale struct {
 	GridL2Lat     []int    // L2 latencies for Figures 1 & 6
 	RBF           rbf.Options
 	Seed          int64
+	// Workers bounds the goroutines used by the drivers' fan-out and by
+	// every model build (par.Workers semantics: 1 = serial, 0 = one
+	// worker per CPU). All results are identical regardless.
+	Workers int
 }
 
 // PaperScale reproduces the paper's experiment sizes (with the trace

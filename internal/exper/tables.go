@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"predperf/internal/design"
+	"predperf/internal/par"
 	"predperf/internal/rtree"
 )
 
@@ -49,30 +50,38 @@ type Table3 struct {
 }
 
 // RunTable3 builds one model per benchmark at the full sample size and
-// validates each on its independent random test set.
+// validates each on its independent random test set. Benchmarks are
+// independent, so they fan out across the runner's workers; rows are
+// collected in benchmark order.
 func RunTable3(r *Runner) (*Table3, error) {
 	out := &Table3{SampleSize: r.Scale.FullSize}
-	var sum float64
-	for _, bench := range r.Scale.Benchmarks {
+	rows, err := par.MapErr(r.Workers(), r.Scale.Benchmarks, func(_ int, bench string) (Table3Row, error) {
 		m, err := r.Model(bench, r.Scale.FullSize)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		ts, err := r.TestSet(bench)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		st := m.Validate(ts)
 		ev, _ := r.Evaluator(bench)
-		out.Rows = append(out.Rows, Table3Row{
+		return Table3Row{
 			Benchmark: bench,
 			Mean:      st.Mean, Max: st.Max, Std: st.Std,
 			Centers: m.Fit.NumCenters(), PMin: m.Fit.PMin, Alpha: m.Fit.Alpha,
 			Simulations: ev.Simulations(),
-		})
-		sum += st.Mean
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out.AvgMean = sum / float64(len(out.Rows))
+	var sum float64
+	for _, row := range rows {
+		sum += row.Mean
+	}
+	out.Rows = rows
+	out.AvgMean = sum / float64(len(rows))
 	return out, nil
 }
 
@@ -104,23 +113,26 @@ type Table4 struct {
 	Rows      []Table4Row
 }
 
-// RunTable4 sweeps the sample sizes for the diagnostics benchmark.
+// RunTable4 sweeps the sample sizes for the diagnostics benchmark,
+// building the per-size models concurrently.
 func RunTable4(r *Runner, bench string) (*Table4, error) {
-	out := &Table4{Benchmark: bench}
-	for _, size := range r.Scale.SampleSizes {
+	rows, err := par.MapErr(r.Workers(), r.Scale.SampleSizes, func(_ int, size int) (Table4Row, error) {
 		m, err := r.Model(bench, size)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		out.Rows = append(out.Rows, Table4Row{
+		return Table4Row{
 			SampleSize: size,
 			PMin:       m.Fit.PMin,
 			Alpha:      m.Fit.Alpha,
 			Centers:    m.Fit.NumCenters(),
 			AICc:       m.Fit.AICc,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Table4{Benchmark: bench, Rows: rows}, nil
 }
 
 func (t *Table4) String() string {
@@ -162,16 +174,23 @@ type Table5 struct {
 	Order      []string
 }
 
-// RunTable5 extracts the top splits from the full-size models.
+// RunTable5 extracts the top splits from the full-size models, building
+// the per-benchmark models concurrently.
 func RunTable5(r *Runner, benches ...string) (*Table5, error) {
 	out := &Table5{SampleSize: r.Scale.FullSize, Splits: map[string][]SplitInfo{}, Order: benches}
 	space := design.PaperSpace()
-	for _, bench := range benches {
+	splits, err := par.MapErr(r.Workers(), benches, func(_ int, bench string) ([]SplitInfo, error) {
 		m, err := r.Model(bench, r.Scale.FullSize)
 		if err != nil {
 			return nil, err
 		}
-		out.Splits[bench] = splitInfos(space, m.Fit.Tree, 8)
+		return splitInfos(space, m.Fit.Tree, 8), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		out.Splits[bench] = splits[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,84 @@
+// Package par is the shared worker-pool used by every parallel stage of
+// the model-building pipeline: candidate-LHS discrepancy scoring, design
+// point simulation, the (p_min, α) RBF grid search, validation, and the
+// experiment fan-out. All helpers write results into fixed slots indexed
+// by the input position, so a computation is bit-identical regardless of
+// the worker count — parallelism changes wall-clock time, never results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 requests exactly n workers
+// (1 = serial), and n <= 0 requests one worker per available CPU
+// (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), spread across at most workers
+// goroutines. workers <= 1 (or n < 2) runs inline with no goroutines.
+// Iterations are claimed dynamically (an atomic cursor), so uneven
+// per-item costs still balance; fn must write any output to a slot owned
+// by its index. For returns when every iteration has completed.
+func For(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in across at most workers
+// goroutines and returns the results in input order.
+func Map[T, U any](workers int, in []T, fn func(i int, v T) U) []U {
+	out := make([]U, len(in))
+	For(workers, len(in), func(i int) {
+		out[i] = fn(i, in[i])
+	})
+	return out
+}
+
+// MapErr is Map for fallible work: every element is processed (no
+// short-circuit, so side effects like cache warming stay deterministic),
+// results land in input order, and the returned error is the first
+// failure by input position regardless of completion order.
+func MapErr[T, U any](workers int, in []T, fn func(i int, v T) (U, error)) ([]U, error) {
+	out := make([]U, len(in))
+	errs := make([]error, len(in))
+	For(workers, len(in), func(i int) {
+		out[i], errs[i] = fn(i, in[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

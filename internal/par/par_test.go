@@ -1,0 +1,88 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 || Workers(1) != 1 {
+		t.Fatal("positive counts must pass through")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-2) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive counts must default to GOMAXPROCS")
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 17} {
+		const n = 100
+		var hits [n]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForHandlesEdgeCases(t *testing.T) {
+	For(4, 0, func(i int) { t.Fatal("called for empty range") })
+	calls := 0
+	For(8, 1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1 ran %d times", calls)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	in := make([]int, 64)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		out := Map(workers, in, func(i, v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsFirstErrorByIndex(t *testing.T) {
+	in := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	wantErr := errors.New("boom-3")
+	for _, workers := range []int{1, 4} {
+		out, err := MapErr(workers, in, func(i, v int) (string, error) {
+			if v == 5 {
+				return "", errors.New("boom-5")
+			}
+			if v == 3 {
+				return "", wantErr
+			}
+			return fmt.Sprintf("v%d", v), nil
+		})
+		if err == nil || err.Error() != "boom-3" {
+			t.Fatalf("workers=%d: err = %v, want boom-3 (first by index)", workers, err)
+		}
+		// Successful slots are still populated (no short-circuit).
+		if out[0] != "v0" || out[7] != "v7" {
+			t.Fatalf("workers=%d: successful slots lost: %v", workers, out)
+		}
+	}
+}
+
+func TestMapErrNilOnSuccess(t *testing.T) {
+	out, err := MapErr(4, []int{1, 2, 3}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[2] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+}

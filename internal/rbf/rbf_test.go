@@ -370,3 +370,46 @@ func TestForwardSelectionCompetitive(t *testing.T) {
 		t.Fatalf("forward selection kept %d bases", fwdNet.M())
 	}
 }
+
+func TestFitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The grid search must select the same (p_min, α) cell with the same
+	// weights no matter how many goroutines score the grid.
+	rng := rand.New(rand.NewSource(8))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 70; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 1+math.Exp(-2*x[0])*x[1]+0.3*x[2])
+	}
+	grid := Options{PMinGrid: []int{1, 2, 3}, AlphaGrid: []float64{3, 5, 7, 9}}
+	grid.Workers = 1
+	serial, err := Fit(xs, ys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 12} {
+		grid.Workers = workers
+		got, err := Fit(xs, ys, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PMin != serial.PMin || got.Alpha != serial.Alpha {
+			t.Fatalf("workers=%d selected (%d, %v), serial selected (%d, %v)",
+				workers, got.PMin, got.Alpha, serial.PMin, serial.Alpha)
+		}
+		if got.AICc != serial.AICc || got.SSE != serial.SSE {
+			t.Fatalf("workers=%d criterion (%v, %v) != serial (%v, %v)",
+				workers, got.AICc, got.SSE, serial.AICc, serial.SSE)
+		}
+		if got.Net.M() != serial.Net.M() {
+			t.Fatalf("workers=%d kept %d centers, serial %d", workers, got.Net.M(), serial.Net.M())
+		}
+		for i := range serial.Net.Weights {
+			if got.Net.Weights[i] != serial.Net.Weights[i] {
+				t.Fatalf("workers=%d weight %d differs: %v vs %v",
+					workers, i, got.Net.Weights[i], serial.Net.Weights[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"predperf/internal/par"
 	"predperf/internal/rtree"
 )
 
@@ -14,6 +15,12 @@ type Options struct {
 	PMinGrid  []int     // regression-tree leaf-size candidates
 	AlphaGrid []float64 // radius scale candidates (Eq. 8)
 	MinRadius float64   // numerical floor for per-dimension radii
+	// Workers bounds the goroutines used by the grid search (par.Workers
+	// semantics: 1 = serial, 0/negative = all CPUs). Every grid cell is
+	// fitted independently into a fixed slot and the winner is chosen by
+	// a grid-order scan, so the selected model is bit-identical for any
+	// worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,23 +60,35 @@ var ErrNoModel = errors.New("rbf: no (p_min, alpha) combination produced a finit
 // Fit builds RBF network models on the sample (x, y) for every (p_min, α)
 // in the grid and returns the model with the lowest AICc, reproducing the
 // method-parameter optimization of §2.6. Regression trees are built once
-// per p_min and shared across α values.
+// per p_min and shared (read-only) across that row's α fits; the grid
+// cells are evaluated concurrently under Options.Workers. Each cell's
+// result lands in a fixed slot and the minimum-AICc scan walks the grid
+// in (p_min-major, α-minor) order with strict comparison, so ties break
+// toward the earliest grid cell exactly as the serial loop did.
 func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, errors.New("rbf: sample is empty or mismatched")
 	}
 	opt = opt.withDefaults()
+	w := par.Workers(opt.Workers)
+	trees := par.Map(w, opt.PMinGrid, func(_, pmin int) *rtree.Tree {
+		return rtree.Build(x, y, pmin)
+	})
+	na := len(opt.AlphaGrid)
+	cells := make([]*FitResult, len(opt.PMinGrid)*na)
+	par.For(w, len(cells), func(c int) {
+		pi, ai := c/na, c%na
+		tr, alpha := trees[pi], opt.AlphaGrid[ai]
+		net, aicc, sse := FitTree(tr, x, y, alpha, opt.MinRadius)
+		if math.IsInf(aicc, 1) || net.M() == 0 {
+			return
+		}
+		cells[c] = &FitResult{Net: net, Tree: tr, PMin: opt.PMinGrid[pi], Alpha: alpha, AICc: aicc, SSE: sse}
+	})
 	var best *FitResult
-	for _, pmin := range opt.PMinGrid {
-		tr := rtree.Build(x, y, pmin)
-		for _, alpha := range opt.AlphaGrid {
-			net, aicc, sse := FitTree(tr, x, y, alpha, opt.MinRadius)
-			if math.IsInf(aicc, 1) || net.M() == 0 {
-				continue
-			}
-			if best == nil || aicc < best.AICc {
-				best = &FitResult{Net: net, Tree: tr, PMin: pmin, Alpha: alpha, AICc: aicc, SSE: sse}
-			}
+	for _, r := range cells {
+		if r != nil && (best == nil || r.AICc < best.AICc) {
+			best = r
 		}
 	}
 	if best == nil {

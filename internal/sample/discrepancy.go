@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"predperf/internal/design"
+	"predperf/internal/par"
 )
 
 // StarDiscrepancy returns the L2-star discrepancy of a point set in
@@ -13,32 +14,74 @@ import (
 //
 // Lower is better (a perfectly uniform distribution approaches 0). The
 // returned value is the discrepancy D itself, not D².
+//
+// The O(n²·d) double sum exploits symmetry (the (i,j) and (j,i) products
+// are equal) and hoists the per-point 1−xᵢₖ terms, so each unordered
+// pair's dimension product is computed once. It runs on all CPUs; see
+// StarDiscrepancyWorkers for an explicit worker count. Row sums land in
+// fixed per-point slots and are reduced in index order, so the result is
+// bit-identical for every worker count.
 func StarDiscrepancy(pts []design.Point) float64 {
+	return StarDiscrepancyWorkers(pts, 0)
+}
+
+// StarDiscrepancyWorkers is StarDiscrepancy with an explicit worker
+// count (par.Workers semantics: 1 = serial, <= 0 = all CPUs). The result
+// is identical regardless of workers.
+func StarDiscrepancyWorkers(pts []design.Point, workers int) float64 {
 	n := len(pts)
 	if n == 0 {
 		return math.NaN()
 	}
 	d := len(pts[0])
+	w := par.Workers(workers)
 	term1 := math.Pow(1.0/3.0, float64(d))
-	var term2 float64
-	for _, x := range pts {
+
+	// Hoisted per-point quantities: one[i][k] = 1 − xᵢₖ (flat, row-major)
+	// and the term-2 product Πₖ (1 − xᵢₖ²)/2.
+	one := make([]float64, n*d)
+	rowT2 := make([]float64, n)
+	par.For(w, n, func(i int) {
+		oi := one[i*d : (i+1)*d]
 		prod := 1.0
-		for _, xk := range x {
+		for k, xk := range pts[i] {
+			oi[k] = 1 - xk
 			prod *= (1 - xk*xk) / 2
 		}
-		term2 += prod
-	}
-	term2 *= 2.0 / float64(n)
-	var term3 float64
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+		rowT2[i] = prod
+	})
+
+	// Symmetric term 3: row i accumulates its diagonal pair plus twice
+	// every pair (i, j>i), using Πₖ min(1−xᵢₖ, 1−xⱼₖ) = Πₖ (1 − max).
+	rowT3 := make([]float64, n)
+	par.For(w, n, func(i int) {
+		oi := one[i*d : (i+1)*d]
+		diag := 1.0
+		for _, v := range oi {
+			diag *= v
+		}
+		s := diag
+		for j := i + 1; j < n; j++ {
+			oj := one[j*d : (j+1)*d]
 			prod := 1.0
 			for k := 0; k < d; k++ {
-				prod *= 1 - math.Max(pts[i][k], pts[j][k])
+				v := oi[k]
+				if oj[k] < v {
+					v = oj[k]
+				}
+				prod *= v
 			}
-			term3 += prod
+			s += 2 * prod
 		}
+		rowT3[i] = s
+	})
+
+	var term2, term3 float64
+	for i := 0; i < n; i++ {
+		term2 += rowT2[i]
+		term3 += rowT3[i]
 	}
+	term2 *= 2.0 / float64(n)
 	term3 /= float64(n) * float64(n)
 	d2 := term1 - term2 + term3
 	if d2 < 0 {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"predperf/internal/design"
+	"predperf/internal/par"
 )
 
 // LHS draws one latin hypercube sample of n points from the given space
@@ -63,21 +64,44 @@ func LHS(space *design.Space, n int, rng *rand.Rand) []design.Point {
 
 // BestLHS generates candidates latin hypercube samples and returns the
 // one with the lowest L2-star discrepancy, together with that
-// discrepancy. candidates < 1 is treated as 1.
+// discrepancy. candidates < 1 is treated as 1. Scoring runs on all CPUs;
+// see BestLHSWorkers for an explicit worker count.
 func BestLHS(space *design.Space, n, candidates int, rng *rand.Rand) ([]design.Point, float64) {
+	return BestLHSWorkers(space, n, candidates, rng, 0)
+}
+
+// BestLHSWorkers is BestLHS with an explicit worker count (par.Workers
+// semantics: 1 = serial, <= 0 = all CPUs). The candidates are always
+// drawn serially from rng — parallelism only touches the O(n²·d)
+// discrepancy scoring, whose results land in fixed per-candidate slots —
+// so the selected sample and its discrepancy are bit-identical for every
+// worker count. Ties keep the earliest candidate, matching the serial
+// scan order.
+func BestLHSWorkers(space *design.Space, n, candidates int, rng *rand.Rand, workers int) ([]design.Point, float64) {
 	if candidates < 1 {
 		candidates = 1
 	}
-	var best []design.Point
-	bestD := 0.0
-	for c := 0; c < candidates; c++ {
-		s := LHS(space, n, rng)
-		d := StarDiscrepancy(s)
-		if best == nil || d < bestD {
-			best, bestD = s, d
+	w := par.Workers(workers)
+	cands := make([][]design.Point, candidates)
+	for c := range cands {
+		cands[c] = LHS(space, n, rng)
+	}
+	// With fewer candidates than workers the surplus CPUs move inside the
+	// Warnock kernel; otherwise each candidate is scored serially.
+	inner := 1
+	if candidates < w {
+		inner = (w + candidates - 1) / candidates
+	}
+	scores := par.Map(w, cands, func(_ int, s []design.Point) float64 {
+		return StarDiscrepancyWorkers(s, inner)
+	})
+	best := 0
+	for c := 1; c < candidates; c++ {
+		if scores[c] < scores[best] {
+			best = c
 		}
 	}
-	return best, bestD
+	return cands[best], scores[best]
 }
 
 // UniformRandom draws n independent uniform points from the space,

@@ -176,6 +176,51 @@ func TestCenteredDiscrepancyReflectionInvariance(t *testing.T) {
 	}
 }
 
+func TestStarDiscrepancyIdenticalAcrossWorkerCounts(t *testing.T) {
+	space := design.PaperSpace()
+	for _, seed := range []int64{1, 9, 33} {
+		pts := LHS(space, 60, rand.New(rand.NewSource(seed)))
+		want := StarDiscrepancyWorkers(pts, 1)
+		for _, workers := range []int{2, 3, 8, 64} {
+			if got := StarDiscrepancyWorkers(pts, workers); got != want {
+				t.Fatalf("seed %d, workers %d: discrepancy %v != serial %v", seed, workers, got, want)
+			}
+		}
+		if got := StarDiscrepancy(pts); got != want {
+			t.Fatalf("seed %d: default-parallel discrepancy %v != serial %v", seed, got, want)
+		}
+	}
+}
+
+func TestBestLHSIdenticalAcrossWorkerCounts(t *testing.T) {
+	space := design.PaperSpace()
+	cases := []struct {
+		seed     int64
+		n, cands int
+	}{
+		{1, 30, 12},
+		{7, 50, 5},
+		{42, 20, 1},
+		{99, 40, 24},
+	}
+	for _, c := range cases {
+		wantPts, wantD := BestLHSWorkers(space, c.n, c.cands, rand.New(rand.NewSource(c.seed)), 1)
+		for _, workers := range []int{0, 2, 4, 16} {
+			gotPts, gotD := BestLHSWorkers(space, c.n, c.cands, rand.New(rand.NewSource(c.seed)), workers)
+			if gotD != wantD {
+				t.Fatalf("seed %d workers %d: discrepancy %v != serial %v", c.seed, workers, gotD, wantD)
+			}
+			for i := range wantPts {
+				for k := range wantPts[i] {
+					if gotPts[i][k] != wantPts[i][k] {
+						t.Fatalf("seed %d workers %d: point %d dim %d differs", c.seed, workers, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestUniformRandomInBounds(t *testing.T) {
 	space := design.TestSpace()
 	pts := UniformRandom(space, 50, rand.New(rand.NewSource(11)))

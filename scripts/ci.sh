@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, vet, build, and the full test suite under
+# the race detector. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI gate passed."
