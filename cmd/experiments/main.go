@@ -9,6 +9,13 @@
 // (table1, figure2, table3, table4, table5, figure1, figure4, figure5,
 // figure6, figure7, ablations, families, adaptive, significance, power,
 // validation, extended, screening, statsim).
+//
+// Observability (internal/obs): -report writes a machine-readable JSON
+// run report (host info, per-stage wall-clock spans, pipeline counters
+// such as simulations run vs. cache hits); -progress prints periodic
+// counter summaries to stderr while the suite runs; -pprof serves
+// net/http/pprof on the given address for live profiling. None of these
+// affect the computed results.
 package main
 
 import (
@@ -16,22 +23,38 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"predperf/internal/exper"
+	"predperf/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	scaleName := flag.String("scale", "paper", "experiment scale: paper or quick")
-	out := flag.String("out", "", "also write the report to this file")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-	parallel := flag.Int("parallel", 0, "worker goroutines for the fan-out (0 = all CPUs, 1 = serial); results are identical either way")
-	flag.Parse()
+// run executes the suite; main is a thin wrapper so tests can drive the
+// full CLI in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "paper", "experiment scale: paper or quick")
+	out := fs.String("out", "", "also write the report to this file")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the fan-out (0 = all CPUs, 1 = serial); results are identical either way")
+	report := fs.String("report", "", "write a JSON run report (stage timings, counters, host info) to this file")
+	progress := fs.Bool("progress", false, "print periodic pipeline counters to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var scale exper.Scale
 	switch *scaleName {
@@ -40,18 +63,32 @@ func main() {
 	case "quick":
 		scale = exper.QuickScale()
 	default:
-		log.Fatalf("unknown scale %q (want paper or quick)", *scaleName)
+		return fmt.Errorf("unknown scale %q (want paper or quick)", *scaleName)
 	}
 	scale.Workers = *parallel
 
-	var w io.Writer = os.Stdout
+	if *report != "" || *progress || *pprofAddr != "" {
+		obs.Enable()
+		obs.Reset()
+	}
+	if *progress {
+		stop := obs.StartProgress(os.Stderr, 2*time.Second)
+		defer stop()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
 	want := map[string]bool{}
@@ -66,14 +103,18 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(w, "predperf experiment suite — scale=%s (traces: %d instructions)\n\n", scale.Name, scale.TraceLen)
 
+	var sectionErr error
 	section := func(id string, run func() (fmt.Stringer, error)) {
-		if !sel(id) {
+		if sectionErr != nil || !sel(id) {
 			return
 		}
+		end := obs.StartSpan("exper.section/" + id)
 		t0 := time.Now()
 		res, err := run()
+		end()
 		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+			sectionErr = fmt.Errorf("%s: %w", id, err)
+			return
 		}
 		fmt.Fprintf(w, "=== %s (%.1fs) ===\n%s\n", id, time.Since(t0).Seconds(), res)
 	}
@@ -106,6 +147,32 @@ func main() {
 	})
 	section("screening", func() (fmt.Stringer, error) { return exper.RunScreening(r, "mcf") })
 	section("statsim", func() (fmt.Stringer, error) { return exper.RunStatSim(r, "twolf") })
+	if sectionErr != nil {
+		return sectionErr
+	}
 
 	fmt.Fprintf(w, "total: %.1fs\n", time.Since(start).Seconds())
+
+	if *report != "" {
+		rep := obs.Snapshot()
+		rep.Meta = map[string]string{
+			"cmd":      "experiments",
+			"scale":    scale.Name,
+			"only":     *only,
+			"parallel": fmt.Sprint(*parallel),
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := rep.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "run report written to %s\n", *report)
+	}
+	return nil
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predperf/internal/obs"
+)
+
+// TestRunEmitsReport drives the full CLI in-process at quick scale on a
+// cheap simulating experiment and validates the -report output: the
+// JSON must round-trip through obs.ReadReport and contain per-stage
+// spans plus the simulations/cache-hit counters.
+func TestRunEmitsReport(t *testing.T) {
+	dir := t.TempDir()
+	reportFile := filepath.Join(dir, "report.json")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-scale", "quick",
+		"-only", "figure1",
+		"-report", reportFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== figure1") {
+		t.Fatalf("experiment output missing figure1 section:\n%s", out.String())
+	}
+
+	f, err := os.Open(reportFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Host.CPUs < 1 || rep.Host.GoVersion == "" {
+		t.Fatalf("host info not populated: %+v", rep.Host)
+	}
+	if rep.Meta["cmd"] != "experiments" || rep.Meta["scale"] != "quick" {
+		t.Fatalf("meta not populated: %v", rep.Meta)
+	}
+
+	// Per-stage spans: the section itself plus the evaluator build it
+	// triggered must be timed.
+	for _, stage := range []string{"exper.section/figure1", "exper.evaluator/vortex"} {
+		st, ok := rep.Stages[stage]
+		if !ok {
+			t.Fatalf("report missing stage %q; have %v", stage, rep.Stages)
+		}
+		if st.Count < 1 || st.TotalSec < 0 {
+			t.Fatalf("stage %q has implausible stats %+v", stage, st)
+		}
+	}
+
+	// Pipeline counters: figure1 simulates a fresh grid, so sims and
+	// evals must be positive; the cache counters must at least be
+	// present in the schema.
+	if rep.Counters["core.sims_run"] <= 0 {
+		t.Fatalf("core.sims_run = %d, want > 0", rep.Counters["core.sims_run"])
+	}
+	if rep.Counters["core.evals"] < rep.Counters["core.sims_run"] {
+		t.Fatalf("evals %d < sims %d", rep.Counters["core.evals"], rep.Counters["core.sims_run"])
+	}
+	for _, c := range []string{"core.sim_cache_hits", "core.singleflight_waits", "sample.lhs_candidates", "rbf.grid_cells"} {
+		if _, ok := rep.Counters[c]; !ok {
+			t.Fatalf("report missing counter %q; have %v", c, rep.Counters)
+		}
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("want unknown-scale error, got %v", err)
+	}
+}

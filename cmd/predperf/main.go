@@ -13,19 +13,30 @@
 //	predperf -bench mcf -sample 90 -save m.json    # persist the model
 //	predperf -bench mcf -load m.json \
 //	         -predict "depth=10,rob=96,iq=48,lsq=48,l2kb=4096,l2lat=8,il1kb=32,dl1kb=32,dl1lat=2"
+//
+// Observability (internal/obs): -report writes a machine-readable JSON
+// run report (host info, per-stage wall-clock spans, pipeline counters
+// such as simulations run vs. cache hits); -progress prints periodic
+// counter summaries to stderr during the build; -pprof serves
+// net/http/pprof on the given address. None of these affect the built
+// model.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"predperf"
 	"predperf/internal/adaptive"
 	"predperf/internal/core"
+	"predperf/internal/obs"
 )
 
 func main() {
@@ -45,7 +56,24 @@ func main() {
 	saveFile := flag.String("save", "", "write the fitted model to this file (JSON)")
 	loadFile := flag.String("load", "", "load a model instead of building one")
 	predict := flag.String("predict", "", "comma-separated config to predict, e.g. depth=12,rob=96,...")
+	report := flag.String("report", "", "write a JSON run report (stage timings, counters, host info) to this file")
+	progress := flag.Bool("progress", false, "print periodic pipeline counters to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *report != "" || *progress || *pprofAddr != "" {
+		obs.Enable()
+		obs.Reset()
+	}
+	if *progress {
+		stop := obs.StartProgress(os.Stderr, 2*time.Second)
+		defer stop()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	var metric core.Metric
 	switch strings.ToLower(*metricName) {
@@ -150,6 +178,28 @@ func main() {
 		fmt.Printf("  model %s     : %.4f\n", metric, pred)
 		fmt.Printf("  simulated %s : %.4f (error %.2f%%)\n", metric, actual,
 			100*abs(pred-actual)/actual)
+	}
+
+	if *report != "" {
+		rep := obs.Snapshot()
+		rep.Meta = map[string]string{
+			"cmd":    "predperf",
+			"bench":  *bench,
+			"metric": metric.String(),
+			"sample": strconv.Itoa(*sampleSize),
+			"insts":  strconv.Itoa(*insts),
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run report written to %s\n", *report)
 	}
 }
 

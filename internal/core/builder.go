@@ -8,6 +8,7 @@ import (
 
 	"predperf/internal/design"
 	"predperf/internal/linreg"
+	"predperf/internal/obs"
 	"predperf/internal/par"
 	"predperf/internal/rbf"
 	"predperf/internal/sample"
@@ -79,6 +80,7 @@ func (m *Model) PredictConfig(cfg design.Config) float64 {
 // procedure) and obtains responses from the evaluator, optionally with
 // several workers.
 func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point, cfgs []design.Config, ys []float64, disc float64) {
+	endSample := obs.StartSpan("core.sample")
 	rng := rand.New(rand.NewSource(opt.Seed))
 	raw, disc := sample.BestLHSWorkers(opt.Space, size, opt.LHSCandidates, rng, opt.Parallel)
 	pts = make([]design.Point, len(raw))
@@ -89,6 +91,8 @@ func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point,
 		cfgs[i] = cfg
 		pts[i] = opt.Space.Encode(cfg)
 	}
+	endSample()
+	defer obs.StartSpan("core.simulate")()
 	evalAll(ev, cfgs, ys, opt.Parallel)
 	return pts, cfgs, ys, disc
 }
@@ -112,8 +116,11 @@ func BuildRBFModel(ev Evaluator, size int, opt Options) (*Model, error) {
 		return nil, errors.New("core: sample size must be at least 4")
 	}
 	opt = opt.withDefaults()
+	defer obs.StartSpan("core.build_rbf")()
 	pts, cfgs, ys, disc := sampleAndSimulate(ev, size, opt)
+	endFit := obs.StartSpan("core.fit")
 	fit, err := rbf.Fit(asFloats(pts), ys, opt.RBF)
+	endFit()
 	if err != nil {
 		return nil, fmt.Errorf("core: RBF fit failed: %w", err)
 	}
@@ -149,8 +156,11 @@ func BuildLinearModel(ev Evaluator, size int, opt Options) (*LinearModel, error)
 		return nil, errors.New("core: sample size must be at least 4")
 	}
 	opt = opt.withDefaults()
+	defer obs.StartSpan("core.build_linear")()
 	pts, _, ys, _ := sampleAndSimulate(ev, size, opt)
+	endFit := obs.StartSpan("core.fit")
 	fit, err := linreg.Fit(asFloats(pts), ys)
+	endFit()
 	if err != nil {
 		return nil, fmt.Errorf("core: linear fit failed: %w", err)
 	}

@@ -10,10 +10,22 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"predperf/internal/design"
+	"predperf/internal/obs"
 	"predperf/internal/sim"
 	"predperf/internal/trace"
+)
+
+// Pipeline counters (internal/obs). Simulations run vs. cache hits is
+// the cost statistic the paper optimizes; single-flight waits say how
+// often concurrent workers collided on the same configuration.
+var (
+	cSims      = obs.NewCounter("core.sims_run")
+	cCacheHits = obs.NewCounter("core.sim_cache_hits")
+	cSFWaits   = obs.NewCounter("core.singleflight_waits")
+	cEvals     = obs.NewCounter("core.evals")
 )
 
 // Evaluator produces the response (CPI) at a concrete design point.
@@ -78,9 +90,12 @@ type simCache struct {
 	sims  int
 }
 
-// simEntry is the single-flight slot for one configuration.
+// simEntry is the single-flight slot for one configuration. done flips
+// after the result is published, letting the observability layer
+// distinguish a plain cache hit from a wait on an in-flight simulation.
 type simEntry struct {
 	once sync.Once
+	done atomic.Bool
 	res  sim.Result
 }
 
@@ -128,8 +143,17 @@ func (e *SimEvaluator) resolve(cfg design.Config) (sim.Config, sim.Result) {
 		}
 		st.mu.Unlock()
 	}
+	if ok {
+		if ent.done.Load() {
+			cCacheHits.Inc()
+		} else {
+			cSFWaits.Inc()
+		}
+	}
 	ent.once.Do(func() {
 		ent.res = sim.Run(sc, e.tr)
+		ent.done.Store(true)
+		cSims.Inc()
 		st.mu.Lock()
 		st.sims++
 		st.mu.Unlock()
@@ -140,6 +164,7 @@ func (e *SimEvaluator) resolve(cfg design.Config) (sim.Config, sim.Result) {
 // Eval returns the configured metric for cfg, running the simulator on
 // a cache miss.
 func (e *SimEvaluator) Eval(cfg design.Config) float64 {
+	cEvals.Inc()
 	sc, res := e.resolve(cfg)
 	switch e.Metric {
 	case MetricEPI:

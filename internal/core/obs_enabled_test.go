@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"predperf/internal/obs"
+)
+
+// TestMain runs the whole package — including the PR 1 determinism
+// tests (TestParallelBuildMatchesSerial and friends) — with span timing
+// enabled, proving that observability never perturbs the pipeline's
+// results.
+func TestMain(m *testing.M) {
+	obs.Enable()
+	os.Exit(m.Run())
+}

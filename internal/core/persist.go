@@ -29,8 +29,9 @@ type modelFile struct {
 const modelFormat = 1
 
 // Save serializes the model as JSON. The saved model reloads with
-// LoadModel and predicts identically; the regression tree and raw
-// training points are not preserved.
+// LoadModel and predicts identically; the regression tree is not
+// preserved, and the normalized training points are re-derived from the
+// persisted configs at load time rather than stored.
 func (m *Model) Save(w io.Writer) error {
 	f := modelFile{
 		Format:     modelFormat,
@@ -51,7 +52,10 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(&f)
 }
 
-// LoadModel reads a model saved with Save.
+// LoadModel reads a model saved with Save. Files that lack the training
+// configs are rejected: without them the training points cannot be
+// restored, and diagnostics such as CrossValidate would silently
+// degenerate to empty statistics.
 func LoadModel(r io.Reader) (*Model, error) {
 	var f modelFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -63,6 +67,13 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if len(f.Centers) != len(f.Radii) || len(f.Centers) != len(f.Weights) {
 		return nil, fmt.Errorf("core: malformed model: %d centers, %d radii, %d weights",
 			len(f.Centers), len(f.Radii), len(f.Weights))
+	}
+	if len(f.Configs) == 0 {
+		return nil, fmt.Errorf("core: model file has no training configs: cannot restore training points (re-save the model with a current build)")
+	}
+	if len(f.Configs) != len(f.Responses) {
+		return nil, fmt.Errorf("core: malformed model: %d configs but %d responses",
+			len(f.Configs), len(f.Responses))
 	}
 	net := &rbf.Network{Weights: f.Weights}
 	for i := range f.Centers {
@@ -82,6 +93,15 @@ func LoadModel(r io.Reader) (*Model, error) {
 		},
 		Configs:   f.Configs,
 		Responses: f.Responses,
+	}
+	// Re-encode the training points from the persisted configs so
+	// training-data diagnostics (CrossValidate in particular) work on a
+	// reloaded model exactly as on a freshly built one. Encode is the
+	// same mapping sampleAndSimulate used at build time, so the restored
+	// points are bit-identical to the originals.
+	m.Points = make([]design.Point, len(f.Configs))
+	for i, cfg := range f.Configs {
+		m.Points[i] = m.Space.Encode(cfg)
 	}
 	return m, nil
 }

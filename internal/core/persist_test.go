@@ -51,6 +51,64 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadCrossValidateRoundTrip(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	m, err := BuildRBFModel(ev, 40, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The training points must be restored from the persisted configs:
+	// Space.Encode is the same mapping the build used, so they are
+	// bit-identical to the originals.
+	if len(loaded.Points) != len(m.Points) {
+		t.Fatalf("restored %d points, want %d", len(loaded.Points), len(m.Points))
+	}
+	for i := range m.Points {
+		for k := range m.Points[i] {
+			if loaded.Points[i][k] != m.Points[i][k] {
+				t.Fatalf("restored point %d dim %d = %v, want %v",
+					i, k, loaded.Points[i][k], m.Points[i][k])
+			}
+		}
+	}
+	// CrossValidate refits on the training data, so a reloaded model
+	// must produce exactly the stats of the freshly built one — before
+	// the fix it silently returned all-zero ErrorStats.
+	want := m.CrossValidate(5)
+	got := loaded.CrossValidate(5)
+	if want.N == 0 || want.Mean == 0 {
+		t.Fatalf("baseline cross-validation degenerate: %+v", want)
+	}
+	if got != want {
+		t.Fatalf("cross-validation diverged after reload: %+v vs %+v", got, want)
+	}
+}
+
+func TestLoadModelRequiresConfigs(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	m, err := BuildRBFModel(ev, 40, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Configs = nil // simulate a legacy prediction-only file
+	m.Responses = nil
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf); err == nil || !strings.Contains(err.Error(), "training configs") {
+		t.Fatalf("want a clear missing-configs error, got %v", err)
+	}
+}
+
 func TestLoadModelRejectsGarbage(t *testing.T) {
 	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
 		t.Fatal("expected error for non-JSON input")

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 
 	"predperf/internal/design"
+	"predperf/internal/obs"
 	"predperf/internal/par"
 	"predperf/internal/rbf"
 	"predperf/internal/sample"
@@ -19,21 +21,35 @@ type ErrorStats struct {
 }
 
 // errorStats computes the metrics from paired predictions and truths.
+// Pairs whose true response is zero are skipped: a percentage error is
+// undefined at actual == 0, and a single such pair would otherwise turn
+// Mean/Max/Std into Inf or NaN and poison the whole statistic. N counts
+// only the pairs that entered the metrics, so callers can detect how
+// many were dropped; if every actual is zero the zero-value ErrorStats
+// (N == 0) is returned.
 func errorStats(pred, actual []float64) ErrorStats {
 	if len(pred) != len(actual) || len(pred) == 0 {
 		return ErrorStats{}
 	}
-	errs := make([]float64, len(pred))
+	errs := make([]float64, 0, len(pred))
 	var sum float64
-	s := ErrorStats{N: len(pred)}
+	var s ErrorStats
 	for i := range pred {
-		e := 100 * math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
-		errs[i] = e
+		a := math.Abs(actual[i])
+		if a == 0 {
+			continue
+		}
+		e := 100 * math.Abs(pred[i]-actual[i]) / a
+		errs = append(errs, e)
 		sum += e
 		if e > s.Max {
 			s.Max = e
 		}
 	}
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	s.N = len(errs)
 	s.Mean = sum / float64(len(errs))
 	var v float64
 	for _, e := range errs {
@@ -67,6 +83,7 @@ func NewTestSet(ev Evaluator, testSpace *design.Space, n int, seed int64) *TestS
 // training sample uses, so the test set is identical for every worker
 // count.
 func NewTestSetWorkers(ev Evaluator, testSpace *design.Space, n int, seed int64, workers int) *TestSet {
+	defer obs.StartSpan("core.testset")()
 	if testSpace == nil {
 		testSpace = design.TestSpace()
 	}
@@ -93,6 +110,7 @@ type predictor interface {
 }
 
 func validateOn(m predictor, space *design.Space, ts *TestSet) ErrorStats {
+	defer obs.StartSpan("core.validate")()
 	pred := make([]float64, len(ts.Configs))
 	par.For(par.Workers(0), len(ts.Configs), func(i int) {
 		pred[i] = m.Predict(space.Encode(ts.Configs[i]))
@@ -116,8 +134,18 @@ type BuildResult struct {
 // BuildToAccuracy is step 6 of the procedure: build models at increasing
 // sample sizes until the mean test error drops to targetMeanPct (or the
 // sizes are exhausted), returning every intermediate result. A non-nil
-// error is returned only if no size produced a model at all.
+// error is returned if the inputs are unusable (nil evaluator or test
+// set, no sizes) or if no size produced a model at all.
 func BuildToAccuracy(ev Evaluator, sizes []int, targetMeanPct float64, ts *TestSet, opt Options) ([]BuildResult, error) {
+	if ev == nil {
+		return nil, errors.New("core: BuildToAccuracy requires a non-nil evaluator")
+	}
+	if ts == nil || len(ts.Configs) == 0 {
+		return nil, errors.New("core: BuildToAccuracy requires a non-empty test set (got nil or zero points)")
+	}
+	if len(sizes) == 0 {
+		return nil, errors.New("core: BuildToAccuracy requires at least one sample size")
+	}
 	var out []BuildResult
 	var lastErr error
 	for _, size := range sizes {

@@ -6,6 +6,7 @@ import (
 
 	"predperf/internal/core"
 	"predperf/internal/design"
+	"predperf/internal/obs"
 	"predperf/internal/par"
 )
 
@@ -69,6 +70,7 @@ func (r *Runner) Workers() int { return par.Workers(r.Scale.Workers) }
 // Evaluator returns the (memoizing) simulator evaluator for a benchmark.
 func (r *Runner) Evaluator(bench string) (*core.SimEvaluator, error) {
 	return resolve(r, r.evs, bench, func() (*core.SimEvaluator, error) {
+		defer obs.StartSpan("exper.evaluator/" + bench)()
 		return core.NewSimEvaluator(bench, r.Scale.TraceLen)
 	})
 }
@@ -77,6 +79,7 @@ func (r *Runner) Evaluator(bench string) (*core.SimEvaluator, error) {
 // space), simulating it on first use.
 func (r *Runner) TestSet(bench string) (*core.TestSet, error) {
 	return resolve(r, r.tests, bench, func() (*core.TestSet, error) {
+		defer obs.StartSpan("exper.testset/" + bench)()
 		ev, err := r.Evaluator(bench)
 		if err != nil {
 			return nil, err
@@ -99,6 +102,7 @@ func (r *Runner) opt() core.Options {
 func (r *Runner) Model(bench string, size int) (*core.Model, error) {
 	key := fmt.Sprintf("%s/%d", bench, size)
 	return resolve(r, r.models, key, func() (*core.Model, error) {
+		defer obs.StartSpan("exper.model/" + key)()
 		ev, err := r.Evaluator(bench)
 		if err != nil {
 			return nil, err
@@ -116,6 +120,7 @@ func (r *Runner) Model(bench string, size int) (*core.Model, error) {
 func (r *Runner) Linear(bench string, size int) (*core.LinearModel, error) {
 	key := fmt.Sprintf("%s/%d", bench, size)
 	return resolve(r, r.linear, key, func() (*core.LinearModel, error) {
+		defer obs.StartSpan("exper.linear/" + key)()
 		ev, err := r.Evaluator(bench)
 		if err != nil {
 			return nil, err

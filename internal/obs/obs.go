@@ -1,0 +1,211 @@
+// Package obs is the zero-dependency observability layer of the
+// model-building pipeline. It provides named counters (lock-free atomic
+// adds, safe to leave in hot paths), per-stage span timers (gated by a
+// global enable flag so the disabled path costs one atomic load), and a
+// structured run report (host info, stage wall-clock, counter values)
+// that the CLIs emit as JSON.
+//
+// Instrumentation never perturbs results: counters and spans only record
+// what happened, and every parallel stage of the pipeline keeps writing
+// results to fixed slots exactly as before. The determinism guarantees
+// of internal/par therefore hold with observability enabled or disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates span timing and progress emission. Counters stay live
+// regardless — an uncontended atomic add is cheap enough to leave in hot
+// paths — but time.Now calls and span-map updates only happen when a
+// sink (report or progress) has been requested.
+var enabled atomic.Bool
+
+// Enable turns on span timing. The CLIs call it when -report, -progress
+// or -pprof is given; tests call it directly.
+func Enable() { enabled.Store(true) }
+
+// Disable returns to the zero-overhead path (counters keep counting).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether span timing is active.
+func Enabled() bool { return enabled.Load() }
+
+// registry holds every named counter and span in creation order. New
+// counters are registered once at package init of the instrumented
+// package; spans appear lazily the first time a name is timed.
+var registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	spans    map[string]*spanStats
+	start    time.Time
+}
+
+func init() {
+	registry.spans = map[string]*spanStats{}
+	registry.start = time.Now()
+}
+
+// Counter is a named monotonic counter. Add and Inc are single atomic
+// adds with no branching, so instrumented hot paths pay nothing
+// measurable whether or not a sink is attached.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers a named counter. Call it once per name from a
+// package-level var; duplicate names return the existing counter so an
+// accidental double registration cannot split counts.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name}
+	registry.counters = append(registry.counters, c)
+	return c
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// spanStats accumulates the timings of every invocation of one named
+// stage. All fields are atomics so concurrent spans (e.g. per-benchmark
+// model builds fanned across workers) need no lock.
+type spanStats struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (s *spanStats) record(d time.Duration) {
+	s.count.Add(1)
+	s.totalNs.Add(int64(d))
+	for {
+		cur := s.maxNs.Load()
+		if int64(d) <= cur || s.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// span looks up (or creates) the stats slot for a name.
+func span(name string) *spanStats {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s, ok := registry.spans[name]
+	if !ok {
+		s = &spanStats{}
+		registry.spans[name] = s
+	}
+	return s
+}
+
+// StartSpan begins timing a named stage and returns the function that
+// ends it. The idiom is
+//
+//	defer obs.StartSpan("core.simulate")()
+//
+// When observability is disabled the returned closure is a shared no-op
+// and no clock is read, so un-sinked runs pay one atomic load.
+func StartSpan(name string) func() {
+	if !enabled.Load() {
+		return noop
+	}
+	s := span(name)
+	t0 := time.Now()
+	return func() { s.record(time.Since(t0)) }
+}
+
+var noop = func() {}
+
+// Reset zeroes every counter, discards all span records, and restarts
+// the run clock. The CLIs call it before a run so the report covers
+// exactly that run; tests use it for isolation.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	registry.spans = map[string]*spanStats{}
+	registry.start = time.Now()
+}
+
+// Counters returns a snapshot of every registered counter, including
+// zero-valued ones, keyed by name.
+func Counters() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters))
+	for _, c := range registry.counters {
+		out[c.name] = c.v.Load()
+	}
+	return out
+}
+
+// StartProgress emits a one-line summary of all non-zero counters to w
+// every interval until the returned stop function is called. Lines are
+// prefixed "obs:" and sorted by counter name, so the output is stable
+// enough to eyeball or grep during a long experiment run.
+func StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintln(w, progressLine())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// progressLine renders the current counter state as one stderr line.
+func progressLine() string {
+	registry.mu.Lock()
+	elapsed := time.Since(registry.start)
+	type kv struct {
+		k string
+		v int64
+	}
+	var vals []kv
+	for _, c := range registry.counters {
+		if v := c.v.Load(); v != 0 {
+			vals = append(vals, kv{c.name, v})
+		}
+	}
+	registry.mu.Unlock()
+	sort.Slice(vals, func(i, j int) bool { return vals[i].k < vals[j].k })
+	line := fmt.Sprintf("obs: %6.1fs", elapsed.Seconds())
+	for _, e := range vals {
+		line += fmt.Sprintf(" %s=%d", e.k, e.v)
+	}
+	return line
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Host records how much hardware a run had available, mirroring the
+// host block of BENCH_parallel.json so reports from different machines
+// compare like for like.
+type Host struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// StageStats summarizes every invocation of one named span: how many
+// times the stage ran, total wall-clock across invocations, and the
+// slowest single invocation.
+type StageStats struct {
+	Count    int64   `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+	MaxSec   float64 `json:"max_sec"`
+}
+
+// Report is the machine-readable run report the CLIs write for
+// -report. Stages covers every timed span, Counters every registered
+// counter (zero-valued ones included, so the schema is stable across
+// workloads), and Meta carries caller-specific run configuration (the
+// benchmark, scale, flag values, ...).
+type Report struct {
+	Format   int                   `json:"format"`
+	Host     Host                  `json:"host"`
+	Started  time.Time             `json:"started"`
+	WallSec  float64               `json:"wall_sec"`
+	Stages   map[string]StageStats `json:"stages"`
+	Counters map[string]int64      `json:"counters"`
+	Meta     map[string]string     `json:"meta,omitempty"`
+}
+
+// reportFormat versions the report schema.
+const reportFormat = 1
+
+// Snapshot captures the current observability state as a report. The
+// caller may fill Meta before writing it out.
+func Snapshot() *Report {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	rep := &Report{
+		Format: reportFormat,
+		Host: Host{
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+		},
+		Started:  registry.start,
+		WallSec:  time.Since(registry.start).Seconds(),
+		Stages:   make(map[string]StageStats, len(registry.spans)),
+		Counters: make(map[string]int64, len(registry.counters)),
+	}
+	for name, s := range registry.spans {
+		rep.Stages[name] = StageStats{
+			Count:    s.count.Load(),
+			TotalSec: time.Duration(s.totalNs.Load()).Seconds(),
+			MaxSec:   time.Duration(s.maxNs.Load()).Seconds(),
+		}
+	}
+	for _, c := range registry.counters {
+		rep.Counters[c.name] = c.v.Load()
+	}
+	return rep
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("obs: writing report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport parses a report written by Write, rejecting unknown
+// schema versions.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: reading report: %w", err)
+	}
+	if rep.Format != reportFormat {
+		return nil, fmt.Errorf("obs: unsupported report format %d", rep.Format)
+	}
+	return &rep, nil
+}

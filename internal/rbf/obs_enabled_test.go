@@ -1,0 +1,16 @@
+package rbf
+
+import (
+	"os"
+	"testing"
+
+	"predperf/internal/obs"
+)
+
+// TestMain runs the whole package — including the grid-search
+// worker-count bit-identity tests — with span timing enabled, proving
+// that observability never perturbs the fitted models.
+func TestMain(m *testing.M) {
+	obs.Enable()
+	os.Exit(m.Run())
+}

@@ -4,8 +4,18 @@ import (
 	"errors"
 	"math"
 
+	"predperf/internal/obs"
 	"predperf/internal/par"
 	"predperf/internal/rtree"
+)
+
+// Grid-search counters (internal/obs): how many (p_min, α) cells were
+// fitted, how many regression trees were built to seed them, and how
+// many basis functions the winning models kept.
+var (
+	cGridCells = obs.NewCounter("rbf.grid_cells")
+	cTrees     = obs.NewCounter("rbf.trees_built")
+	cBases     = obs.NewCounter("rbf.bases_selected")
 )
 
 // Options controls the (p_min, α) grid search of §2.6. Zero values take
@@ -70,8 +80,10 @@ func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
 		return nil, errors.New("rbf: sample is empty or mismatched")
 	}
 	opt = opt.withDefaults()
+	defer obs.StartSpan("rbf.fit")()
 	w := par.Workers(opt.Workers)
 	trees := par.Map(w, opt.PMinGrid, func(_, pmin int) *rtree.Tree {
+		cTrees.Inc()
 		return rtree.Build(x, y, pmin)
 	})
 	na := len(opt.AlphaGrid)
@@ -80,6 +92,7 @@ func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
 		pi, ai := c/na, c%na
 		tr, alpha := trees[pi], opt.AlphaGrid[ai]
 		net, aicc, sse := FitTree(tr, x, y, alpha, opt.MinRadius)
+		cGridCells.Inc()
 		if math.IsInf(aicc, 1) || net.M() == 0 {
 			return
 		}
@@ -94,5 +107,6 @@ func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
 	if best == nil {
 		return nil, ErrNoModel
 	}
+	cBases.Add(int64(best.Net.M()))
 	return best, nil
 }

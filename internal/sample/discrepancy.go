@@ -96,35 +96,74 @@ func StarDiscrepancyWorkers(pts []design.Point, workers int) float64 {
 //
 //	CD² = (13/12)ᵈ − (2/N)·Σᵢ Πₖ (1 + ½|xᵢₖ−½| − ½|xᵢₖ−½|²)
 //	      + (1/N²)·ΣᵢΣⱼ Πₖ (1 + ½|xᵢₖ−½| + ½|xⱼₖ−½| − ½|xᵢₖ−xⱼₖ|)
+//
+// Like StarDiscrepancy, the O(n²·d) double sum exploits symmetry (the
+// (i,j) and (j,i) products are equal) and hoists the per-point |xᵢₖ−½|
+// deviations, so each unordered pair's dimension product is computed
+// once. It runs on all CPUs; see CenteredDiscrepancyWorkers for an
+// explicit worker count.
 func CenteredDiscrepancy(pts []design.Point) float64 {
+	return CenteredDiscrepancyWorkers(pts, 0)
+}
+
+// CenteredDiscrepancyWorkers is CenteredDiscrepancy with an explicit
+// worker count (par.Workers semantics: 1 = serial, <= 0 = all CPUs).
+// Row sums land in fixed per-point slots and are reduced in index
+// order, so the result is bit-identical for every worker count.
+func CenteredDiscrepancyWorkers(pts []design.Point, workers int) float64 {
 	n := len(pts)
 	if n == 0 {
 		return math.NaN()
 	}
 	d := len(pts[0])
+	w := par.Workers(workers)
 	term1 := math.Pow(13.0/12.0, float64(d))
-	var term2 float64
-	for _, x := range pts {
+
+	// Hoisted per-point quantities: dev[i][k] = |xᵢₖ − ½| (flat,
+	// row-major) and the term-2 product Πₖ (1 + ½|xᵢₖ−½| − ½|xᵢₖ−½|²).
+	dev := make([]float64, n*d)
+	rowT2 := make([]float64, n)
+	par.For(w, n, func(i int) {
+		di := dev[i*d : (i+1)*d]
 		prod := 1.0
-		for _, xk := range x {
+		for k, xk := range pts[i] {
 			a := math.Abs(xk - 0.5)
+			di[k] = a
 			prod *= 1 + 0.5*a - 0.5*a*a
 		}
-		term2 += prod
-	}
-	term2 *= 2.0 / float64(n)
-	var term3 float64
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+		rowT2[i] = prod
+	})
+
+	// Symmetric term 3: row i accumulates its diagonal pair (where
+	// |xᵢₖ−xᵢₖ| vanishes, leaving Πₖ (1 + |xᵢₖ−½|)) plus twice every
+	// pair (i, j>i).
+	rowT3 := make([]float64, n)
+	par.For(w, n, func(i int) {
+		di := dev[i*d : (i+1)*d]
+		xi := pts[i]
+		diag := 1.0
+		for _, a := range di {
+			diag *= 1 + a
+		}
+		s := diag
+		for j := i + 1; j < n; j++ {
+			dj := dev[j*d : (j+1)*d]
+			xj := pts[j]
 			prod := 1.0
 			for k := 0; k < d; k++ {
-				ai := math.Abs(pts[i][k] - 0.5)
-				aj := math.Abs(pts[j][k] - 0.5)
-				prod *= 1 + 0.5*ai + 0.5*aj - 0.5*math.Abs(pts[i][k]-pts[j][k])
+				prod *= 1 + 0.5*di[k] + 0.5*dj[k] - 0.5*math.Abs(xi[k]-xj[k])
 			}
-			term3 += prod
+			s += 2 * prod
 		}
+		rowT3[i] = s
+	})
+
+	var term2, term3 float64
+	for i := 0; i < n; i++ {
+		term2 += rowT2[i]
+		term3 += rowT3[i]
 	}
+	term2 *= 2.0 / float64(n)
 	term3 /= float64(n) * float64(n)
 	d2 := term1 - term2 + term3
 	if d2 < 0 {

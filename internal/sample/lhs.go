@@ -9,8 +9,13 @@ import (
 	"math/rand"
 
 	"predperf/internal/design"
+	"predperf/internal/obs"
 	"predperf/internal/par"
 )
+
+// cCandidates counts latin hypercube candidates scored by discrepancy —
+// the work BestLHS spends before a single simulation runs.
+var cCandidates = obs.NewCounter("sample.lhs_candidates")
 
 // LHS draws one latin hypercube sample of n points from the given space
 // using the paper's variant: a parameter with a fixed number of levels L
@@ -81,6 +86,8 @@ func BestLHSWorkers(space *design.Space, n, candidates int, rng *rand.Rand, work
 	if candidates < 1 {
 		candidates = 1
 	}
+	defer obs.StartSpan("sample.best_lhs")()
+	cCandidates.Add(int64(candidates))
 	w := par.Workers(workers)
 	cands := make([][]design.Point, candidates)
 	for c := range cands {

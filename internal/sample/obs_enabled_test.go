@@ -1,0 +1,17 @@
+package sample
+
+import (
+	"os"
+	"testing"
+
+	"predperf/internal/obs"
+)
+
+// TestMain runs the whole package — including the worker-count
+// bit-identity tests for BestLHS and both discrepancy kernels — with
+// span timing enabled, proving that observability never perturbs the
+// sampling stage's results.
+func TestMain(m *testing.M) {
+	obs.Enable()
+	os.Exit(m.Run())
+}

@@ -176,6 +176,22 @@ func TestCenteredDiscrepancyReflectionInvariance(t *testing.T) {
 	}
 }
 
+func TestCenteredDiscrepancyIdenticalAcrossWorkerCounts(t *testing.T) {
+	space := design.PaperSpace()
+	for _, seed := range []int64{1, 9, 33} {
+		pts := LHS(space, 60, rand.New(rand.NewSource(seed)))
+		want := CenteredDiscrepancyWorkers(pts, 1)
+		for _, workers := range []int{2, 3, 8, 64} {
+			if got := CenteredDiscrepancyWorkers(pts, workers); got != want {
+				t.Fatalf("seed %d, workers %d: CD %v != serial %v", seed, workers, got, want)
+			}
+		}
+		if got := CenteredDiscrepancy(pts); got != want {
+			t.Fatalf("seed %d: default-parallel CD %v != serial %v", seed, got, want)
+		}
+	}
+}
+
 func TestStarDiscrepancyIdenticalAcrossWorkerCounts(t *testing.T) {
 	space := design.PaperSpace()
 	for _, seed := range []int64{1, 9, 33} {

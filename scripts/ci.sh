@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: formatting, vet, build, and the full test suite under
-# the race detector. Run from anywhere inside the repository.
+# Tier-1 CI gate: formatting, vet, build, the full test suite under the
+# race detector, and a one-iteration benchmark smoke pass so the
+# instrumented hot paths keep compiling and running. Run from anywhere
+# inside the repository.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,5 +23,8 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "CI gate passed."
