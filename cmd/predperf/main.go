@@ -108,8 +108,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("loaded model from %s: %d training points, %d RBF centers\n",
-			*loadFile, m.SampleSize, m.Fit.NumCenters())
+		name := m.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("loaded model %s from %s: %d training points, %d RBF centers\n",
+			name, *loadFile, m.SampleSize, m.Fit.NumCenters())
 	case *adaptiveFlag:
 		fmt.Printf("adaptive build for %s (%s): budget %d simulations\n", *bench, metric, *sampleSize)
 		var rounds []adaptive.Round
@@ -133,6 +137,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  sample discrepancy : %.5f\n", m.Discrepancy)
+	}
+	if m.Name == "" {
+		// Stamp freshly built models with their workload so the persisted
+		// header names the benchmark for predserve's registry.
+		m.Name = *bench
 	}
 	fmt.Printf("  method parameters  : p_min=%d alpha=%.0f\n", m.Fit.PMin, m.Fit.Alpha)
 	fmt.Printf("  RBF centers        : %d\n", m.Fit.NumCenters())

@@ -1,0 +1,119 @@
+// Command predserve serves trained CPI models over HTTP: the inference
+// side of the paper's pipeline. predperf -save produces model files;
+// predserve loads them into a named registry and answers prediction,
+// search, and introspection requests until it is told to drain.
+//
+// Usage:
+//
+//	predperf -bench mcf -sample 90 -save models/mcf.json
+//	predserve -models models                  # serve every *.json in models/
+//	predserve -model models/mcf.json          # serve one file
+//	predserve -addr 127.0.0.1:0 -models m     # random port (printed on stdout)
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/predict -d \
+//	  '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}'
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener closes
+// immediately, in-flight requests get -drain to finish, and the process
+// exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"predperf/internal/obs"
+	"predperf/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predserve: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	modelsDir := flag.String("models", "", "directory of *.json models to load at startup (also anchors relative /v1/models/load paths)")
+	modelFiles := flag.String("model", "", "comma-separated model files to load at startup")
+	cacheSize := flag.Int("cache", 4096, "prediction LRU cache entries (negative disables)")
+	workers := flag.Int("workers", 0, "batch-predict worker goroutines (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	maxBatch := flag.Int("max-batch", 4096, "configurations allowed in one predict request")
+	searchInsts := flag.Int("search-insts", 50_000, "trace length for simulator-verified /v1/search")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	progress := flag.Bool("progress", false, "print periodic request counters to stderr")
+	flag.Parse()
+
+	// Span timing is always on: /metricz is part of the API, and the
+	// enabled-path cost is two clock reads per timed request.
+	obs.Enable()
+	if *progress {
+		stop := obs.StartProgress(os.Stderr, 2*time.Second)
+		defer stop()
+	}
+
+	srv := serve.New(serve.Options{
+		MaxBodyBytes:   *maxBody,
+		Timeout:        *timeout,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		SearchTraceLen: *searchInsts,
+		ModelDir:       *modelsDir,
+	})
+	if *modelsDir != "" {
+		names, err := srv.Registry().LoadDir("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d model(s) from %s: %s", len(names), *modelsDir, strings.Join(names, ", "))
+	}
+	if *modelFiles != "" {
+		for _, p := range strings.Split(*modelFiles, ",") {
+			name, err := srv.Registry().LoadFile(strings.TrimSpace(p), "")
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded model %q from %s", name, p)
+		}
+	}
+	if srv.Registry().Len() == 0 {
+		log.Print("warning: no models loaded; hot-load with POST /v1/models/load")
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts using -addr :0 can
+	// discover the port.
+	fmt.Printf("predserve: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (deadline %s)", *drain)
+		if err := srv.Shutdown(*drain); err != nil {
+			log.Fatalf("drain failed: %v", err)
+		}
+		<-serveErr
+		log.Print("shut down cleanly")
+	}
+}

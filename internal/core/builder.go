@@ -52,6 +52,10 @@ func (o Options) withDefaults() Options {
 
 // Model is a fitted non-linear CPI model over a design space.
 type Model struct {
+	// Name identifies the workload the model was trained for (usually
+	// the benchmark name). It travels with the persisted model so a
+	// serving registry can address models by name.
+	Name       string
 	Space      *design.Space
 	SampleSize int
 	Fit        *rbf.FitResult

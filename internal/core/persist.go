@@ -14,6 +14,7 @@ import (
 // the training diagnostics; the regression tree is not persisted.
 type modelFile struct {
 	Format     int             `json:"format"`
+	Name       string          `json:"name,omitempty"`
 	SampleSize int             `json:"sample_size"`
 	PMin       int             `json:"p_min"`
 	Alpha      float64         `json:"alpha"`
@@ -35,6 +36,7 @@ const modelFormat = 1
 func (m *Model) Save(w io.Writer) error {
 	f := modelFile{
 		Format:     modelFormat,
+		Name:       m.Name,
 		SampleSize: m.SampleSize,
 		PMin:       m.Fit.PMin,
 		Alpha:      m.Fit.Alpha,
@@ -62,7 +64,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
 	if f.Format != modelFormat {
-		return nil, fmt.Errorf("core: unsupported model format %d", f.Format)
+		return nil, fmt.Errorf("core: unsupported model format %d (this build reads format %d; re-save the model with a matching build)", f.Format, modelFormat)
 	}
 	if len(f.Centers) != len(f.Radii) || len(f.Centers) != len(f.Weights) {
 		return nil, fmt.Errorf("core: malformed model: %d centers, %d radii, %d weights",
@@ -83,6 +85,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		net.Bases = append(net.Bases, rbf.Basis{Center: f.Centers[i], Radius: f.Radii[i]})
 	}
 	m := &Model{
+		Name:       f.Name,
 		Space:      &design.Space{Params: f.Space},
 		SampleSize: f.SampleSize,
 		Fit: &rbf.FitResult{

@@ -113,11 +113,40 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
 		t.Fatal("expected error for non-JSON input")
 	}
-	if _, err := LoadModel(strings.NewReader(`{"format": 99}`)); err == nil {
-		t.Fatal("expected error for unknown format")
-	}
 	if _, err := LoadModel(strings.NewReader(`{"format":1,"centers":[[0.5]],"radii":[],"weights":[]}`)); err == nil {
 		t.Fatal("expected error for mismatched arrays")
+	}
+}
+
+func TestLoadModelRejectsUnknownFormat(t *testing.T) {
+	for _, in := range []string{`{"format": 99}`, `{"format": 0}`, `{}`} {
+		_, err := LoadModel(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("want error for %s, got nil", in)
+		}
+		if !strings.Contains(err.Error(), "unsupported model format") {
+			t.Fatalf("want a clear format error for %s, got %v", in, err)
+		}
+	}
+}
+
+func TestSaveLoadPreservesName(t *testing.T) {
+	ev := FuncEvaluator(syntheticCPI)
+	m, err := BuildRBFModel(ev, 40, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = "mcf"
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "mcf" {
+		t.Fatalf("loaded name %q, want %q", loaded.Name, "mcf")
 	}
 }
 

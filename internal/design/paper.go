@@ -48,6 +48,26 @@ func TestSpace() *Space {
 	}}
 }
 
+// RequiredParams lists the parameter names Decode and Encode require: a
+// space must carry all nine paper parameters to map between normalized
+// points and concrete configurations.
+func RequiredParams() []string {
+	return []string{PipeDepth, ROBSize, IQSize, LSQSize, L2Size, L2Lat, IL1Size, DL1Size, DL1Lat}
+}
+
+// CheckDecodable reports whether the space can Decode and Encode,
+// naming the first missing paper parameter otherwise. Decode and Encode
+// panic on such spaces; callers that accept arbitrary spaces should
+// check first and return the error.
+func (s *Space) CheckDecodable() error {
+	for _, name := range RequiredParams() {
+		if s.Index(name) < 0 {
+			return fmt.Errorf("design: space is missing parameter %q", name)
+		}
+	}
+	return nil
+}
+
 // Config is a concrete processor configuration in natural units, the
 // result of decoding a normalized Point. IQ and LSQ sizes have been
 // resolved from their ROB fractions into entry counts.

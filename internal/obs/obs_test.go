@@ -234,3 +234,50 @@ func BenchmarkSpanEnabled(b *testing.B) {
 		StartSpan("bench.enabled")()
 	}
 }
+
+// TestSnapshotConcurrent proves Snapshot is safe to call while counters
+// and spans are being recorded from other goroutines — the /metricz
+// handler of the serving layer does exactly that on a live server.
+func TestSnapshotConcurrent(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	c := NewCounter("obs.test_snapshot_storm")
+	const workers, iters = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				StartSpan("obs.test_snapshot_span")()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rep := Snapshot()
+				if rep.Counters["obs.test_snapshot_storm"] < 0 {
+					t.Error("negative counter in snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := Snapshot()
+	if got := rep.Counters["obs.test_snapshot_storm"]; got != workers*iters {
+		t.Fatalf("final counter %d, want %d", got, workers*iters)
+	}
+	span := rep.Stages["obs.test_snapshot_span"]
+	if span.Count != workers*iters {
+		t.Fatalf("final span count %d, want %d", span.Count, workers*iters)
+	}
+	if span.TotalSec < 0 || span.MaxSec > span.TotalSec {
+		t.Fatalf("incoherent span stats %+v", span)
+	}
+}

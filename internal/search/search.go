@@ -13,6 +13,7 @@ package search
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"predperf/internal/core"
@@ -71,6 +72,13 @@ func Minimize(model Predictor, ev core.Evaluator, opt Options) (*Result, error) 
 	}
 	cands := opt.Candidates
 	if cands == nil {
+		// A space that cannot Decode (missing paper parameters) would
+		// panic inside the enumeration; reject it with an error instead.
+		if opt.Space != nil {
+			if err := opt.Space.CheckDecodable(); err != nil {
+				return nil, fmt.Errorf("search: cannot enumerate candidates: %w", err)
+			}
+		}
 		cands = EnumerateGrid(opt.Space, opt.GridLevels)
 	}
 	res := &Result{}
@@ -124,10 +132,16 @@ func Minimize(model Predictor, ev core.Evaluator, opt Options) (*Result, error) 
 // capping every dimension at gridLevels settings (evenly spread across
 // the parameter's range) so the grid stays tractable: the paper space at
 // gridLevels=4 is ≈260k raw points before deduplication. Duplicate
-// configurations produced by quantization are removed.
+// configurations produced by quantization are removed. gridLevels <= 1
+// falls back to the default resolution of 4; a space that cannot Decode
+// (missing paper parameters) yields an empty enumeration rather than a
+// panic.
 func EnumerateGrid(space *design.Space, gridLevels int) []design.Config {
 	if space == nil {
 		space = design.PaperSpace()
+	}
+	if space.CheckDecodable() != nil {
+		return nil
 	}
 	if gridLevels < 2 {
 		gridLevels = 4

@@ -2,6 +2,7 @@ package search
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"predperf/internal/core"
@@ -126,5 +127,61 @@ func TestEnumerateGridDedupes(t *testing.T) {
 func TestMinimizeNilArgs(t *testing.T) {
 	if _, err := Minimize(nil, nil, Options{}); err == nil {
 		t.Fatal("expected error for nil model/evaluator")
+	}
+}
+
+func TestMinimizeDegenerateSpace(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	for _, space := range []*design.Space{
+		{}, // empty
+		{Params: []design.Param{{Name: "voltage", Low: 0.8, High: 1.2, Levels: 3}}},
+	} {
+		_, err := Minimize(biasedModel{}, ev, Options{Space: space})
+		if err == nil {
+			t.Fatalf("space %v: want an error, got nil", space)
+		}
+		if !strings.Contains(err.Error(), "missing parameter") {
+			t.Fatalf("space %v: want a missing-parameter error, got %v", space, err)
+		}
+	}
+}
+
+func TestMinimizeZeroBudget(t *testing.T) {
+	ev := core.FuncEvaluator(truth)
+	// An explicitly empty candidate list is a zero-budget search: a
+	// clear error, not a panic or a fabricated winner.
+	if _, err := Minimize(biasedModel{}, ev, Options{Candidates: []design.Config{}}); err == nil {
+		t.Fatal("want an error for an empty candidate list")
+	}
+	// A constraint that rejects everything is equivalent.
+	_, err := Minimize(biasedModel{}, ev, Options{
+		GridLevels: 2,
+		Constraint: func(design.Config) bool { return false },
+	})
+	if err == nil {
+		t.Fatal("want an error when every candidate is infeasible")
+	}
+	// Nonsense budgets fall back to defaults rather than failing.
+	res, err := Minimize(biasedModel{}, ev, Options{GridLevels: -3, Shortlist: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified != 8 {
+		t.Fatalf("verified %d, want the default shortlist of 8", res.Verified)
+	}
+}
+
+func TestEnumerateGridDegenerate(t *testing.T) {
+	// gridLevels <= 1 falls back to the default resolution.
+	for _, gl := range []int{1, 0, -5} {
+		cfgs := EnumerateGrid(nil, gl)
+		if len(cfgs) == 0 {
+			t.Fatalf("gridLevels=%d: empty grid", gl)
+		}
+	}
+	// A space that cannot Decode enumerates to nothing instead of
+	// panicking.
+	if cfgs := EnumerateGrid(&design.Space{}, 3); cfgs != nil {
+		t.Fatalf("degenerate space enumerated %d configs", len(cfgs))
 	}
 }

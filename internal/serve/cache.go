@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the bounded prediction cache: a mutex-guarded hash map over an
+// intrusive recency list. Keys are (model name, quantized config key)
+// strings, so two requests that clamp to the same machine share one
+// slot regardless of how their raw inputs differed. A single mutex is
+// enough here: the critical section is a map lookup plus a list splice,
+// orders of magnitude cheaper than the RBF evaluation it saves, and the
+// predict path only holds it per-point, never across a batch.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// lruEntry is one cached prediction.
+type lruEntry struct {
+	key string
+	val float64
+}
+
+// newLRU builds a cache bounded at max entries; max < 0 disables the
+// cache (every Get misses, Put is a no-op).
+func newLRU(max int) *lru {
+	if max < 0 {
+		return &lru{}
+	}
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// enabled reports whether the cache stores anything.
+func (c *lru) enabled() bool { return c.max > 0 }
+
+// Get returns the cached prediction for key and marks it most recently
+// used.
+func (c *lru) Get(key string) (float64, bool) {
+	if !c.enabled() {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a prediction, evicting the least recently
+// used entry when the cache is full.
+func (c *lru) Put(key string, val float64) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached predictions.
+func (c *lru) Len() int {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+	"predperf/internal/par"
+	"predperf/internal/search"
+)
+
+// wireConfig is the JSON shape of a processor configuration, using the
+// same short field names as the predperf CLI's -predict flag.
+type wireConfig struct {
+	Depth  int `json:"depth"`
+	ROB    int `json:"rob"`
+	IQ     int `json:"iq"`
+	LSQ    int `json:"lsq"`
+	L2KB   int `json:"l2kb"`
+	L2Lat  int `json:"l2lat"`
+	IL1KB  int `json:"il1kb"`
+	DL1KB  int `json:"dl1kb"`
+	DL1Lat int `json:"dl1lat"`
+}
+
+func (w wireConfig) config() design.Config {
+	return design.Config{
+		PipeDepth: w.Depth, ROBSize: w.ROB, IQSize: w.IQ, LSQSize: w.LSQ,
+		L2SizeKB: w.L2KB, L2Lat: w.L2Lat, IL1SizeKB: w.IL1KB, DL1SizeKB: w.DL1KB, DL1Lat: w.DL1Lat,
+	}
+}
+
+func toWire(c design.Config) wireConfig {
+	return wireConfig{
+		Depth: c.PipeDepth, ROB: c.ROBSize, IQ: c.IQSize, LSQ: c.LSQSize,
+		L2KB: c.L2SizeKB, L2Lat: c.L2Lat, IL1KB: c.IL1SizeKB, DL1KB: c.DL1SizeKB, DL1Lat: c.DL1Lat,
+	}
+}
+
+// validate rejects configurations the design space cannot normalize:
+// every field must be positive (IQ/LSQ sizes are re-expressed as
+// fractions of ROB, so a zero ROB would divide by zero).
+func (w wireConfig) validate() error {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"depth", w.Depth}, {"rob", w.ROB}, {"iq", w.IQ}, {"lsq", w.LSQ},
+		{"l2kb", w.L2KB}, {"l2lat", w.L2Lat}, {"il1kb", w.IL1KB}, {"dl1kb", w.DL1KB}, {"dl1lat", w.DL1Lat},
+	}
+	for _, f := range fields {
+		if f.v <= 0 {
+			return fmt.Errorf("field %q must be positive, got %d", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// apiError is the structured error body: {"error":{"code","message"}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	cErrors.Inc()
+	writeJSON(w, status, map[string]apiError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// readJSON decodes a size-capped request body, mapping oversize and
+// malformed bodies to structured errors. It returns false after writing
+// the error response.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s requires %s, got %s", r.URL.Path, method, r.Method)
+		return false
+	}
+	return true
+}
+
+// ---- /healthz ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.reg.Len(),
+	})
+}
+
+// ---- /metricz ----
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.Snapshot().Write(w); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+// ---- /v1/models ----
+
+// modelInfo is one row of the GET /v1/models listing.
+type modelInfo struct {
+	Name       string  `json:"name"`
+	Benchmark  string  `json:"benchmark,omitempty"`
+	SampleSize int     `json:"sample_size"`
+	Centers    int     `json:"centers"`
+	AICc       float64 `json:"aicc"`
+	Path       string  `json:"path,omitempty"`
+}
+
+func entryInfo(e *Entry) modelInfo {
+	return modelInfo{
+		Name:       e.Name,
+		Benchmark:  e.Model.Name,
+		SampleSize: e.Model.SampleSize,
+		Centers:    e.Model.Fit.NumCenters(),
+		AICc:       e.Model.Fit.AICc,
+		Path:       e.Path,
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	entries := s.reg.Entries()
+	infos := make([]modelInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = entryInfo(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// ---- /v1/models/load ----
+
+type loadRequest struct {
+	// Path of a model file saved by predperf -save; relative paths
+	// resolve against the server's -models directory.
+	Path string `json:"path"`
+	// Name optionally overrides the registry name (default: the model's
+	// persisted benchmark name, then the file base name).
+	Name string `json:"name"`
+	// Dir loads every *.json in a directory instead of one file.
+	Dir string `json:"dir"`
+}
+
+func (s *Server) handleModelsLoad(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req loadRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Dir != "":
+		names, err := s.reg.LoadDir(req.Dir)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "load_failed", "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"loaded": names})
+	case req.Path != "":
+		name, err := s.reg.LoadFile(req.Path, req.Name)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "load_failed", "%v", err)
+			return
+		}
+		e, _ := s.reg.Get(name)
+		writeJSON(w, http.StatusOK, map[string]any{"loaded": []string{name}, "model": entryInfo(e)})
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request", `"path" or "dir" is required`)
+	}
+}
+
+// ---- /v1/predict ----
+
+type predictRequest struct {
+	Model string `json:"model"`
+	// Config predicts one configuration; Configs a batch. Exactly one
+	// of the two must be present.
+	Config  *wireConfig  `json:"config,omitempty"`
+	Configs []wireConfig `json:"configs,omitempty"`
+}
+
+// prediction is one scored configuration. Config echoes the machine
+// actually scored: the input after clamping to the design space's
+// ranges and quantizing to its discrete levels.
+type prediction struct {
+	Config  wireConfig `json:"config"`
+	Value   float64    `json:"value"`
+	Cached  bool       `json:"cached"`
+	Clamped bool       `json:"clamped,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string       `json:"model"`
+	Predictions []prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	defer obs.StartSpan("serve.predict")()
+	var req predictRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", `"model" is required`)
+		return
+	}
+	entry, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_model",
+			"no model %q is loaded (GET /v1/models lists the registry)", req.Model)
+		return
+	}
+	var batch []wireConfig
+	switch {
+	case req.Config != nil && len(req.Configs) > 0:
+		writeErr(w, http.StatusBadRequest, "bad_request", `give "config" or "configs", not both`)
+		return
+	case req.Config != nil:
+		batch = []wireConfig{*req.Config}
+	case len(req.Configs) > 0:
+		batch = req.Configs
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request", `"config" or "configs" is required`)
+		return
+	}
+	if len(batch) > s.opt.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"batch of %d exceeds the %d-configuration limit", len(batch), s.opt.MaxBatch)
+		return
+	}
+	for i, wc := range batch {
+		if err := wc.validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_config", "configs[%d]: %v", i, err)
+			return
+		}
+	}
+	cPredicts.Inc()
+	cBatchPts.Add(int64(len(batch)))
+	preds := make([]prediction, len(batch))
+	// Batch requests fan out over the shared worker pool; each point
+	// writes to its own slot, so the response order matches the request.
+	par.For(s.opt.Workers, len(batch), func(i int) {
+		preds[i] = s.predictOne(entry.Model, req.Model, batch[i].config())
+	})
+	writeJSON(w, http.StatusOK, predictResponse{Model: req.Model, Predictions: preds})
+}
+
+// predictOne scores one configuration: clamp and quantize it through
+// the model's design space (the same Decode∘Encode mapping used on the
+// training sample), then serve from the LRU cache or evaluate the RBF
+// network. The cache key is the quantized machine, so raw inputs that
+// snap to the same design point share an entry.
+func (s *Server) predictOne(m *core.Model, modelName string, cfg design.Config) prediction {
+	q := m.Space.Decode(m.Space.Encode(cfg), m.SampleSize)
+	p := prediction{Config: toWire(q), Clamped: q != cfg}
+	key := modelName + "\x00" + q.Key()
+	if v, ok := s.cache.Get(key); ok {
+		cCacheHits.Inc()
+		p.Value, p.Cached = v, true
+		return p
+	}
+	cCacheMiss.Inc()
+	p.Value = m.PredictConfig(q)
+	s.cache.Put(key, p.Value)
+	return p
+}
+
+// ---- /v1/search ----
+
+type searchRequest struct {
+	Model string `json:"model"`
+	// GridLevels caps the per-parameter enumeration resolution
+	// (default 4, the search package's default).
+	GridLevels int `json:"grid_levels"`
+	// Shortlist is how many best-predicted candidates are verified
+	// (default 8).
+	Shortlist int `json:"shortlist"`
+	// Verify selects shortlist verification: "sim" demands the
+	// cycle-level simulator (error if the model names no benchmark),
+	// "model" skips simulation, "auto" (default) prefers the simulator
+	// and falls back to the model.
+	Verify string `json:"verify"`
+}
+
+type searchCandidate struct {
+	Config    wireConfig `json:"config"`
+	Predicted float64    `json:"predicted"`
+	Actual    float64    `json:"actual"`
+}
+
+type searchResponse struct {
+	Model      string            `json:"model"`
+	Best       searchCandidate   `json:"best"`
+	Evaluated  int               `json:"evaluated"`
+	Verified   int               `json:"verified"`
+	VerifiedBy string            `json:"verified_by"` // "simulator" or "model"
+	Shortlist  []searchCandidate `json:"shortlist"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	defer obs.StartSpan("serve.search")()
+	var req searchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", `"model" is required`)
+		return
+	}
+	entry, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_model",
+			"no model %q is loaded (GET /v1/models lists the registry)", req.Model)
+		return
+	}
+	var (
+		ev         core.Evaluator
+		verifiedBy string
+	)
+	switch req.Verify {
+	case "", "auto":
+		if sim, err := entry.simEvaluator(s.opt.SearchTraceLen); err == nil {
+			ev, verifiedBy = sim, "simulator"
+		} else {
+			ev, verifiedBy = modelEvaluator{entry.Model}, "model"
+		}
+	case "sim":
+		sim, err := entry.simEvaluator(s.opt.SearchTraceLen)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "no_simulator",
+				"model %q cannot be simulator-verified: %v", req.Model, err)
+			return
+		}
+		ev, verifiedBy = sim, "simulator"
+	case "model":
+		ev, verifiedBy = modelEvaluator{entry.Model}, "model"
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			`"verify" must be "auto", "sim", or "model", got %q`, req.Verify)
+		return
+	}
+	cSearches.Inc()
+	res, err := search.Minimize(entry.Model, ev, search.Options{
+		Space:      entry.Model.Space,
+		GridLevels: req.GridLevels,
+		Shortlist:  req.Shortlist,
+	})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "search_failed", "%v", err)
+		return
+	}
+	resp := searchResponse{
+		Model:      req.Model,
+		Evaluated:  res.Evaluated,
+		Verified:   res.Verified,
+		VerifiedBy: verifiedBy,
+	}
+	for _, c := range res.Shortlist {
+		resp.Shortlist = append(resp.Shortlist, searchCandidate{
+			Config: toWire(c.Config), Predicted: c.Predicted, Actual: c.Actual,
+		})
+	}
+	resp.Best = searchCandidate{
+		Config:    toWire(res.Best),
+		Predicted: entry.Model.PredictConfig(res.Best),
+		Actual:    res.BestValue,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+)
+
+// Entry is one loaded model in the registry. The simulator evaluator
+// used by /v1/search to verify shortlists is constructed lazily and at
+// most once, because building it loads (or generates) a benchmark
+// trace.
+type Entry struct {
+	Name  string      // registry key
+	Model *core.Model // the fitted model (read-only once registered)
+	Path  string      // file the model was loaded from ("" if registered in-process)
+
+	simOnce sync.Once
+	simEv   *core.SimEvaluator
+	simErr  error
+}
+
+// simEvaluator returns the entry's simulator evaluator, building it on
+// first use from the model's persisted benchmark name. Models whose
+// name is not a known benchmark workload return an error; /v1/search
+// then falls back to model-verified search.
+func (e *Entry) simEvaluator(traceLen int) (*core.SimEvaluator, error) {
+	e.simOnce.Do(func() {
+		if e.Model.Name == "" {
+			e.simErr = fmt.Errorf("serve: model %q carries no benchmark name", e.Name)
+			return
+		}
+		e.simEv, e.simErr = core.NewSimEvaluator(e.Model.Name, traceLen)
+	})
+	return e.simEv, e.simErr
+}
+
+// modelEvaluator verifies a search shortlist with the model itself,
+// the fallback when an entry has no simulator-backed workload. The
+// "verification" is then a no-op ranking confirmation: predicted and
+// actual coincide by construction.
+type modelEvaluator struct{ m *core.Model }
+
+func (e modelEvaluator) Eval(cfg design.Config) float64 { return e.m.PredictConfig(cfg) }
+
+// Registry is the named, RWMutex-guarded set of models the server can
+// predict against. Reads (every predict) take the read lock only; hot
+// loads take the write lock for the map insert.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Entry
+	dir    string // base for relative load paths
+}
+
+// NewRegistry returns an empty registry. dir, when non-empty, anchors
+// relative paths given to LoadFile and is scanned by LoadDir.
+func NewRegistry(dir string) *Registry {
+	return &Registry{models: map[string]*Entry{}, dir: dir}
+}
+
+// Add registers a model under name, replacing any previous holder of
+// the name. It validates the parts of the model the request path
+// depends on, so a handler can assume a registered model predicts.
+func (r *Registry) Add(name string, m *core.Model, path string) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must not be empty")
+	}
+	if m == nil || m.Fit == nil || m.Space == nil || m.Space.N() == 0 {
+		return fmt.Errorf("serve: model %q is missing its fit or design space", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = &Entry{Name: name, Model: m, Path: path}
+	return nil
+}
+
+// Get returns the entry for name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	return e, ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for name := range r.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Entries snapshots the registry, sorted by name.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.models))
+	for _, e := range r.models {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// resolve anchors a relative model path at the registry's model dir.
+func (r *Registry) resolve(path string) string {
+	if r.dir != "" && !filepath.IsAbs(path) {
+		return filepath.Join(r.dir, path)
+	}
+	return path
+}
+
+// LoadFile reads a model persisted with core.Model.Save and registers
+// it. The registry name is, in order of preference: the explicit name
+// argument, the model's persisted benchmark name, the file's base name
+// without extension. Returns the name the model was registered under.
+func (r *Registry) LoadFile(path, name string) (string, error) {
+	defer obs.StartSpan("serve.load")()
+	full := r.resolve(path)
+	f, err := os.Open(full)
+	if err != nil {
+		return "", fmt.Errorf("serve: loading model: %w", err)
+	}
+	defer f.Close()
+	m, err := core.LoadModel(f)
+	if err != nil {
+		return "", fmt.Errorf("serve: loading model %s: %w", full, err)
+	}
+	if name == "" {
+		name = m.Name
+	}
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(full), filepath.Ext(full))
+	}
+	if err := r.Add(name, m, full); err != nil {
+		return "", err
+	}
+	cModelLoads.Inc()
+	return name, nil
+}
+
+// LoadDir loads every *.json model in dir (the registry's configured
+// dir when dir is empty) and returns the registered names. Files that
+// fail to parse as models abort the load with an error naming the file.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	if dir == "" {
+		dir = r.dir
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("serve: no model directory configured")
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var names []string
+	for _, p := range paths {
+		name, err := r.LoadFile(p, "")
+		if err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -1,0 +1,166 @@
+// Package serve is the HTTP inference layer over fitted CPI models: it
+// turns models persisted by core.Model.Save into a long-running service
+// so the paper's fast surrogate actually serves predictions instead of
+// living and dying inside the process that built it.
+//
+// The server is stdlib-only (net/http) and exposes a small JSON API:
+//
+//	POST /v1/predict      single config or batch against a named model
+//	POST /v1/search       model-guided design-space search (search.Minimize)
+//	GET  /v1/models       list the model registry
+//	POST /v1/models/load  hot-load a persisted model into the registry
+//	GET  /healthz         liveness + registry size
+//	GET  /metricz         internal/obs counters and spans as JSON
+//
+// Production behaviors live here rather than in the CLI: an RWMutex
+// model registry with lazy per-model simulator evaluators, a bounded
+// LRU prediction cache keyed on (model, quantized config), batch
+// fan-out through the internal/par worker pool, request-size limits,
+// per-request timeouts, structured JSON errors, and graceful shutdown
+// (drain with a deadline).
+//
+// Every incoming configuration is validated and then clamped/quantized
+// through the model's design.Space exactly as at training time
+// (Decode∘Encode), so the served prediction always describes a machine
+// the space can express — and for on-grid configurations it is
+// bit-identical to an in-process Model.PredictConfig call.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"predperf/internal/obs"
+)
+
+// Request-path counters and spans (internal/obs). serve.predicts counts
+// /v1/predict requests, serve.batch_points every configuration scored
+// (a batch of 64 adds 64), and the cache pair says how often the LRU
+// absorbed a prediction.
+var (
+	cPredicts   = obs.NewCounter("serve.predicts")
+	cBatchPts   = obs.NewCounter("serve.batch_points")
+	cCacheHits  = obs.NewCounter("serve.cache_hits")
+	cCacheMiss  = obs.NewCounter("serve.cache_misses")
+	cSearches   = obs.NewCounter("serve.searches")
+	cModelLoads = obs.NewCounter("serve.model_loads")
+	cErrors     = obs.NewCounter("serve.errors")
+)
+
+// Options configures a Server. Zero values take production defaults.
+type Options struct {
+	// MaxBodyBytes bounds the size of a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Timeout bounds the handling of one request; requests that exceed
+	// it receive a structured 503 (default 30s).
+	Timeout time.Duration
+	// CacheSize bounds the LRU prediction cache in entries (default
+	// 4096; negative disables caching).
+	CacheSize int
+	// Workers bounds the internal/par fan-out used for batch predict
+	// requests (default one per CPU).
+	Workers int
+	// MaxBatch bounds the number of configurations in one predict
+	// request (default 4096).
+	MaxBatch int
+	// SearchTraceLen is the trace length used when /v1/search verifies
+	// its shortlist with the simulator (default 50k instructions).
+	SearchTraceLen int
+	// ModelDir resolves relative paths in /v1/models/load and is
+	// scanned for *.json models by LoadDir.
+	ModelDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.SearchTraceLen <= 0 {
+		o.SearchTraceLen = 50_000
+	}
+	return o
+}
+
+// Server serves predictions from a registry of loaded models.
+type Server struct {
+	opt   Options
+	reg   *Registry
+	cache *lru
+	http  *http.Server
+}
+
+// New builds a Server with an empty registry. Load models through
+// Registry before (or while — the registry is hot-loadable) serving.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		reg:   NewRegistry(opt.ModelDir),
+		cache: newLRU(opt.CacheSize),
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Registry exposes the model registry for loading and inspection.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the full API handler: the route mux wrapped with the
+// per-request timeout. Request-size limits are applied per route (the
+// body readers are capped with http.MaxBytesReader).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/load", s.handleModelsLoad)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	return http.TimeoutHandler(mux, s.opt.Timeout,
+		`{"error":{"code":"timeout","message":"request exceeded the server's per-request deadline"}}`)
+}
+
+// Serve accepts connections on l until Shutdown. A server that was shut
+// down cleanly returns nil rather than http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains in-flight requests, waiting at most deadline before
+// giving up on stragglers. New connections are refused immediately.
+func (s *Server) Shutdown(deadline time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}

@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+	"predperf/internal/rbf"
+	"predperf/internal/search"
+)
+
+// syntheticCPI is a smooth non-linear ground truth, cheap enough that a
+// model builds in milliseconds.
+func syntheticCPI(c design.Config) float64 {
+	l2 := float64(c.L2SizeKB)
+	return 0.6 +
+		1.5*math.Exp(-l2/1500)*(float64(c.L2Lat)/20) +
+		0.5*float64(c.PipeDepth)/24 +
+		12/float64(c.ROBSize) +
+		0.2*float64(c.DL1Lat)/4*(64/float64(c.DL1SizeKB))*0.2
+}
+
+func buildTestModel(t *testing.T, name string) *core.Model {
+	t.Helper()
+	m, err := core.BuildRBFModel(core.FuncEvaluator(syntheticCPI), 40, core.Options{
+		LHSCandidates: 16,
+		RBF:           rbf.Options{PMinGrid: []int{1, 2}, AlphaGrid: []float64{5, 9}},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = name
+	return m
+}
+
+func saveModel(t *testing.T, m *core.Model, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestEndToEnd is the acceptance path: build a small model, save it,
+// serve it, and check the HTTP answers against the in-process ones.
+func TestEndToEnd(t *testing.T) {
+	obs.Reset()
+	m := buildTestModel(t, "synthetic")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "synthetic.json")
+	saveModel(t, m, path)
+
+	s := New(Options{ModelDir: dir})
+	if names, err := s.Registry().LoadDir(""); err != nil || len(names) != 1 || names[0] != "synthetic" {
+		t.Fatalf("LoadDir = %v, %v", names, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// healthz.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Models != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Batch predict over training configs (on-grid, so quantization is
+	// the identity) must be bit-identical to in-process predictions.
+	batch := m.Configs[:10]
+	var reqBody struct {
+		Model   string       `json:"model"`
+		Configs []wireConfig `json:"configs"`
+	}
+	reqBody.Model = "synthetic"
+	for _, c := range batch {
+		reqBody.Configs = append(reqBody.Configs, toWire(c))
+	}
+	js, _ := json.Marshal(reqBody)
+	resp2, body := postJSON(t, ts.URL+"/v1/predict", string(js))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp2.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != len(batch) {
+		t.Fatalf("got %d predictions, want %d", len(pr.Predictions), len(batch))
+	}
+	for i, p := range pr.Predictions {
+		want := m.PredictConfig(batch[i])
+		if p.Value != want {
+			t.Fatalf("prediction %d = %v, want bit-identical %v", i, p.Value, want)
+		}
+		if p.Config != toWire(batch[i]) {
+			t.Fatalf("prediction %d echoed %+v, want %+v (on-grid input must not move)",
+				i, p.Config, toWire(batch[i]))
+		}
+		if p.Clamped {
+			t.Fatalf("prediction %d marked clamped for an on-grid input", i)
+		}
+	}
+
+	// A second identical batch must be served from the cache.
+	_, body = postJSON(t, ts.URL+"/v1/predict", string(js))
+	var pr2 predictResponse
+	if err := json.Unmarshal(body, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pr2.Predictions {
+		if !p.Cached {
+			t.Fatalf("repeat prediction %d not served from cache", i)
+		}
+		if p.Value != pr.Predictions[i].Value {
+			t.Fatalf("cached value diverged at %d", i)
+		}
+	}
+
+	// Search must match an in-process search.Minimize run with the same
+	// options and the same (model-backed) evaluator.
+	resp3, body := postJSON(t, ts.URL+"/v1/search",
+		`{"model":"synthetic","grid_levels":3,"shortlist":4,"verify":"model"}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp3.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := search.Minimize(m, modelEvaluator{m}, search.Options{
+		Space: m.Space, GridLevels: 3, Shortlist: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Best.Config != toWire(want.Best) {
+		t.Fatalf("search best %+v, want %+v", sr.Best.Config, toWire(want.Best))
+	}
+	if sr.Best.Actual != want.BestValue || sr.Best.Predicted != m.PredictConfig(want.Best) {
+		t.Fatalf("search best values (%v, %v), want (%v, %v)",
+			sr.Best.Predicted, sr.Best.Actual, m.PredictConfig(want.Best), want.BestValue)
+	}
+	if sr.Evaluated != want.Evaluated || sr.Verified != want.Verified || sr.VerifiedBy != "model" {
+		t.Fatalf("search accounting %+v vs %+v", sr, want)
+	}
+
+	// metricz must reflect the traffic above.
+	resp4, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadReport(resp4.Body)
+	resp4.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters["serve.predicts"] < 2 {
+		t.Fatalf("serve.predicts = %d, want >= 2", rep.Counters["serve.predicts"])
+	}
+	if rep.Counters["serve.batch_points"] < int64(2*len(batch)) {
+		t.Fatalf("serve.batch_points = %d, want >= %d", rep.Counters["serve.batch_points"], 2*len(batch))
+	}
+	if rep.Counters["serve.cache_hits"] < int64(len(batch)) {
+		t.Fatalf("serve.cache_hits = %d, want >= %d", rep.Counters["serve.cache_hits"], len(batch))
+	}
+	if rep.Counters["serve.searches"] != 1 {
+		t.Fatalf("serve.searches = %d, want 1", rep.Counters["serve.searches"])
+	}
+	if rep.Counters["serve.model_loads"] != 1 {
+		t.Fatalf("serve.model_loads = %d, want 1", rep.Counters["serve.model_loads"])
+	}
+}
+
+// TestPredictStorm hammers /v1/predict from many goroutines with
+// overlapping configurations; under -race this proves the registry,
+// cache, and par fan-out compose race-free.
+func TestPredictStorm(t *testing.T) {
+	m := buildTestModel(t, "storm")
+	s := New(Options{CacheSize: 64, Workers: 4})
+	if err := s.Registry().Add("storm", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := make([]float64, len(m.Configs))
+	for i, c := range m.Configs {
+		want[i] = m.PredictConfig(c)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				var req struct {
+					Model   string       `json:"model"`
+					Configs []wireConfig `json:"configs"`
+				}
+				req.Model = "storm"
+				// Overlapping slices so goroutines contend on cache keys.
+				lo := (g + rep) % (len(m.Configs) - 8)
+				for _, c := range m.Configs[lo : lo+8] {
+					req.Configs = append(req.Configs, toWire(c))
+				}
+				js, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(js))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var pr predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, p := range pr.Predictions {
+					if p.Value != want[lo+i] {
+						errs <- fmt.Errorf("goroutine %d: value %v, want %v", g, p.Value, want[lo+i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictClampsOutOfRange(t *testing.T) {
+	m := buildTestModel(t, "clamp")
+	s := New(Options{})
+	if err := s.Registry().Add("clamp", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// ROB far beyond the space's High=128 must clamp, and the served
+	// value must equal predicting the echoed quantized machine.
+	_, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"model":"clamp","config":{"depth":12,"rob":100000,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}`)
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if len(pr.Predictions) != 1 {
+		t.Fatalf("got %d predictions", len(pr.Predictions))
+	}
+	p := pr.Predictions[0]
+	if !p.Clamped {
+		t.Fatal("out-of-range config not marked clamped")
+	}
+	if p.Config.ROB > 128 {
+		t.Fatalf("echoed ROB %d not clamped into the space", p.Config.ROB)
+	}
+	if want := m.PredictConfig(p.Config.config()); p.Value != want {
+		t.Fatalf("value %v, want %v (prediction of the echoed machine)", p.Value, want)
+	}
+}
+
+func TestHotLoadAndList(t *testing.T) {
+	m := buildTestModel(t, "hot")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hot.json")
+	saveModel(t, m, path)
+
+	s := New(Options{ModelDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Empty registry: predict is a structured 404.
+	resp, body := postJSON(t, ts.URL+"/v1/predict", `{"model":"hot","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}`)
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "unknown_model") {
+		t.Fatalf("want structured 404, got %d: %s", resp.StatusCode, body)
+	}
+
+	// Hot-load by relative path, then serve.
+	resp, body = postJSON(t, ts.URL+"/v1/models/load", `{"path":"hot.json"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load status %d: %s", resp.StatusCode, body)
+	}
+	var lr struct {
+		Loaded []string  `json:"loaded"`
+		Model  modelInfo `json:"model"`
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Loaded) != 1 || lr.Loaded[0] != "hot" || lr.Model.SampleSize != 40 {
+		t.Fatalf("load reply %+v", lr)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	err = json.NewDecoder(resp2.Body).Decode(&list)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || list.Models[0].Name != "hot" || list.Models[0].Benchmark != "hot" {
+		t.Fatalf("models listing %+v", list)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", `{"model":"hot","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after hot-load: %d", resp.StatusCode)
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	m := buildTestModel(t, "errs")
+	s := New(Options{MaxBodyBytes: 512, MaxBatch: 4})
+	if err := s.Registry().Add("errs", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	okCfg := `{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}`
+	cases := []struct {
+		name, url, body string
+		status          int
+		code            string
+	}{
+		{"bad json", "/v1/predict", `{`, http.StatusBadRequest, "bad_json"},
+		{"no model", "/v1/predict", `{"config":` + okCfg + `}`, http.StatusBadRequest, "bad_request"},
+		{"unknown model", "/v1/predict", `{"model":"nope","config":` + okCfg + `}`, http.StatusNotFound, "unknown_model"},
+		{"no config", "/v1/predict", `{"model":"errs"}`, http.StatusBadRequest, "bad_request"},
+		{"both config kinds", "/v1/predict", `{"model":"errs","config":` + okCfg + `,"configs":[` + okCfg + `]}`, http.StatusBadRequest, "bad_request"},
+		{"invalid config", "/v1/predict", `{"model":"errs","config":{"depth":12,"rob":0,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}`, http.StatusBadRequest, "invalid_config"},
+		{"batch too large", "/v1/predict", `{"model":"errs","configs":[` + okCfg + `,` + okCfg + `,` + okCfg + `,` + okCfg + `,` + okCfg + `]}`, http.StatusRequestEntityTooLarge, "batch_too_large"},
+		{"search unknown model", "/v1/search", `{"model":"nope"}`, http.StatusNotFound, "unknown_model"},
+		{"search bad verify", "/v1/search", `{"model":"errs","verify":"psychic"}`, http.StatusBadRequest, "bad_request"},
+		{"search needs sim", "/v1/search", `{"model":"errs","verify":"sim"}`, http.StatusBadRequest, "no_simulator"},
+		{"load without path", "/v1/models/load", `{}`, http.StatusBadRequest, "bad_request"},
+		{"load missing file", "/v1/models/load", `{"path":"/definitely/not/here.json"}`, http.StatusBadRequest, "load_failed"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != tc.status || !strings.Contains(string(body), tc.code) {
+			t.Errorf("%s: status %d body %s, want %d with code %q", tc.name, resp.StatusCode, body, tc.status, tc.code)
+		}
+	}
+
+	// Oversize body → 413. The batch above stayed under 512 bytes; this
+	// one exceeds it.
+	big := `{"model":"errs","configs":[` + okCfg
+	for len(big) < 600 {
+		big += `,` + okCfg
+	}
+	big += `]}`
+	resp, body := postJSON(t, ts.URL+"/v1/predict", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || !strings.Contains(string(body), "body_too_large") {
+		t.Errorf("oversize body: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Wrong method → 405.
+	resp2, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict = %d, want 405", resp2.StatusCode)
+	}
+}
+
+// TestGracefulShutdown serves on a real listener and checks that
+// Shutdown drains cleanly: Serve returns nil and the port closes.
+func TestGracefulShutdown(t *testing.T) {
+	m := buildTestModel(t, "bye")
+	s := New(Options{})
+	if err := s.Registry().Add("bye", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	url := "http://" + l.Addr().String()
+	if resp, err := http.Get(url + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %v,%v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was refreshed by the Get)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	c.Put("a", 10) // refresh value in place
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("refreshed a = %v", v)
+	}
+
+	off := newLRU(-1)
+	off.Put("x", 1)
+	if _, ok := off.Get("x"); ok || off.Len() != 0 {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestRegistryNaming(t *testing.T) {
+	dir := t.TempDir()
+	// A model with no persisted name falls back to the file base name.
+	m := buildTestModel(t, "")
+	path := filepath.Join(dir, "fallback.json")
+	saveModel(t, m, path)
+	r := NewRegistry(dir)
+	name, err := r.LoadFile("fallback.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "fallback" {
+		t.Fatalf("registry name %q, want file base %q", name, "fallback")
+	}
+	// An explicit name wins over everything.
+	name, err = r.LoadFile("fallback.json", "forced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "forced" {
+		t.Fatalf("registry name %q, want %q", name, "forced")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "fallback" || got[1] != "forced" {
+		t.Fatalf("names %v", got)
+	}
+	if err := r.Add("", m, ""); err == nil {
+		t.Fatal("Add accepted an empty name")
+	}
+	if err := r.Add("nil", nil, ""); err == nil {
+		t.Fatal("Add accepted a nil model")
+	}
+}

@@ -27,4 +27,38 @@ go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+echo "== predserve smoke =="
+smoke_dir=$(mktemp -d)
+smoke_pid=""
+cleanup_smoke() {
+    [ -n "$smoke_pid" ] && kill "$smoke_pid" 2>/dev/null || true
+    rm -rf "$smoke_dir"
+}
+trap cleanup_smoke EXIT
+go run ./cmd/predperf -bench mcf -insts 2000 -sample 12 -lhs 8 -test 4 \
+    -save "$smoke_dir/mcf.json" > /dev/null
+go build -o "$smoke_dir/predserve" ./cmd/predserve
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -model "$smoke_dir/mcf.json" \
+    > "$smoke_dir/predserve.log" 2>&1 &
+smoke_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^predserve: listening on //p' "$smoke_dir/predserve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "predserve did not start:" >&2
+    cat "$smoke_dir/predserve.log" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"'
+curl -fsS -X POST "http://$addr/v1/predict" \
+    -d '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}' \
+    | grep -q '"value"'
+kill -TERM "$smoke_pid"
+wait "$smoke_pid"   # non-zero (unclean drain) fails the gate via set -e
+smoke_pid=""
+grep -q "shut down cleanly" "$smoke_dir/predserve.log"
+
 echo "CI gate passed."
