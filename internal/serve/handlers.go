@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"predperf/internal/core"
 	"predperf/internal/design"
@@ -174,13 +175,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 // ---- /v1/models/load ----
 
 type loadRequest struct {
-	// Path of a model file saved by predperf -save; relative paths
-	// resolve against the server's -models directory.
+	// Path of a model file saved by predperf -save, relative to the
+	// server's -models directory. Absolute paths and paths escaping the
+	// directory are rejected (forbidden_path), as is any load when the
+	// server has no model directory.
 	Path string `json:"path"`
 	// Name optionally overrides the registry name (default: the model's
 	// persisted benchmark name, then the file base name).
 	Name string `json:"name"`
-	// Dir loads every *.json in a directory instead of one file.
+	// Dir loads every *.json in a subdirectory of the model directory
+	// instead of one file ("." reloads the model directory itself).
+	// Confined like Path.
 	Dir string `json:"dir"`
 }
 
@@ -194,14 +199,24 @@ func (s *Server) handleModelsLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case req.Dir != "":
-		names, err := s.reg.LoadDir(req.Dir)
+		rel, err := s.reg.ClientPath(req.Dir)
+		if err != nil {
+			writeErr(w, http.StatusForbidden, "forbidden_path", "%v", err)
+			return
+		}
+		names, err := s.reg.LoadDir(s.reg.resolve(rel))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "load_failed", "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"loaded": names})
 	case req.Path != "":
-		name, err := s.reg.LoadFile(req.Path, req.Name)
+		rel, err := s.reg.ClientPath(req.Path)
+		if err != nil {
+			writeErr(w, http.StatusForbidden, "forbidden_path", "%v", err)
+			return
+		}
+		name, err := s.reg.LoadFile(rel, req.Name)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "load_failed", "%v", err)
 			return
@@ -287,7 +302,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Batch requests fan out over the shared worker pool; each point
 	// writes to its own slot, so the response order matches the request.
 	par.For(s.opt.Workers, len(batch), func(i int) {
-		preds[i] = s.predictOne(entry.Model, req.Model, batch[i].config())
+		preds[i] = s.predictOne(entry, batch[i].config())
 	})
 	writeJSON(w, http.StatusOK, predictResponse{Model: req.Model, Predictions: preds})
 }
@@ -296,11 +311,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // the model's design space (the same Decode∘Encode mapping used on the
 // training sample), then serve from the LRU cache or evaluate the RBF
 // network. The cache key is the quantized machine, so raw inputs that
-// snap to the same design point share an entry.
-func (s *Server) predictOne(m *core.Model, modelName string, cfg design.Config) prediction {
+// snap to the same design point share an entry. The entry generation in
+// the key retires every cached value for a name when a hot-reload
+// replaces its model; stale entries then age out of the LRU instead of
+// being served.
+func (s *Server) predictOne(e *Entry, cfg design.Config) prediction {
+	m := e.Model
 	q := m.Space.Decode(m.Space.Encode(cfg), m.SampleSize)
 	p := prediction{Config: toWire(q), Clamped: q != cfg}
-	key := modelName + "\x00" + q.Key()
+	key := e.Name + "\x00" + strconv.FormatUint(e.gen, 10) + "\x00" + q.Key()
 	if v, ok := s.cache.Get(key); ok {
 		cCacheHits.Inc()
 		p.Value, p.Cached = v, true

@@ -22,6 +22,12 @@ type Entry struct {
 	Model *core.Model // the fitted model (read-only once registered)
 	Path  string      // file the model was loaded from ("" if registered in-process)
 
+	// gen distinguishes successive holders of the same registry name.
+	// The prediction cache keys on it, so a hot-reload retires every
+	// cached value computed by the replaced model instead of serving
+	// them as stale hits.
+	gen uint64
+
 	simOnce sync.Once
 	simEv   *core.SimEvaluator
 	simErr  error
@@ -56,6 +62,7 @@ func (e modelEvaluator) Eval(cfg design.Config) float64 { return e.m.PredictConf
 type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Entry
+	gen    uint64 // monotonic entry generation, bumped on every Add
 	dir    string // base for relative load paths
 }
 
@@ -67,17 +74,34 @@ func NewRegistry(dir string) *Registry {
 
 // Add registers a model under name, replacing any previous holder of
 // the name. It validates the parts of the model the request path
-// depends on, so a handler can assume a registered model predicts.
+// depends on — including that the design space carries all nine paper
+// parameters — so a handler can assume a registered model predicts
+// without panicking.
 func (r *Registry) Add(name string, m *core.Model, path string) error {
+	if err := validateModel(name, m); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	r.models[name] = &Entry{Name: name, Model: m, Path: path, gen: r.gen}
+	return nil
+}
+
+// validateModel checks everything the predict path assumes about a
+// model, so registration — not the first prediction — is where a bad
+// model file fails. Decode/Encode panic on spaces missing a paper
+// parameter; CheckDecodable turns that into a structured error.
+func validateModel(name string, m *core.Model) error {
 	if name == "" {
 		return fmt.Errorf("serve: model name must not be empty")
 	}
 	if m == nil || m.Fit == nil || m.Space == nil || m.Space.N() == 0 {
 		return fmt.Errorf("serve: model %q is missing its fit or design space", name)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.models[name] = &Entry{Name: name, Model: m, Path: path}
+	if err := m.Space.CheckDecodable(); err != nil {
+		return fmt.Errorf("serve: model %q cannot predict: %w", name, err)
+	}
 	return nil
 }
 
@@ -128,6 +152,30 @@ func (r *Registry) resolve(path string) string {
 	return path
 }
 
+// readModel opens and parses a model file without touching the
+// registry. The returned name is, in order of preference: the explicit
+// name argument, the model's persisted benchmark name, the file's base
+// name without extension. full must already be a complete path (see
+// resolve).
+func readModel(full, name string) (string, *core.Model, error) {
+	f, err := os.Open(full)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: loading model: %w", err)
+	}
+	defer f.Close()
+	m, err := core.LoadModel(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: loading model %s: %w", full, err)
+	}
+	if name == "" {
+		name = m.Name
+	}
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(full), filepath.Ext(full))
+	}
+	return name, m, nil
+}
+
 // LoadFile reads a model persisted with core.Model.Save and registers
 // it. The registry name is, in order of preference: the explicit name
 // argument, the model's persisted benchmark name, the file's base name
@@ -135,20 +183,9 @@ func (r *Registry) resolve(path string) string {
 func (r *Registry) LoadFile(path, name string) (string, error) {
 	defer obs.StartSpan("serve.load")()
 	full := r.resolve(path)
-	f, err := os.Open(full)
+	name, m, err := readModel(full, name)
 	if err != nil {
-		return "", fmt.Errorf("serve: loading model: %w", err)
-	}
-	defer f.Close()
-	m, err := core.LoadModel(f)
-	if err != nil {
-		return "", fmt.Errorf("serve: loading model %s: %w", full, err)
-	}
-	if name == "" {
-		name = m.Name
-	}
-	if name == "" {
-		name = strings.TrimSuffix(filepath.Base(full), filepath.Ext(full))
+		return "", err
 	}
 	if err := r.Add(name, m, full); err != nil {
 		return "", err
@@ -158,9 +195,12 @@ func (r *Registry) LoadFile(path, name string) (string, error) {
 }
 
 // LoadDir loads every *.json model in dir (the registry's configured
-// dir when dir is empty) and returns the registered names. Files that
-// fail to parse as models abort the load with an error naming the file.
+// dir when dir is empty) and returns the registered names. The load is
+// all-or-nothing: every file is parsed and validated before the first
+// model is registered, so a failing file leaves the registry exactly as
+// it was.
 func (r *Registry) LoadDir(dir string) ([]string, error) {
+	defer obs.StartSpan("serve.load")()
 	if dir == "" {
 		dir = r.dir
 	}
@@ -172,13 +212,46 @@ func (r *Registry) LoadDir(dir string) ([]string, error) {
 		return nil, err
 	}
 	sort.Strings(paths)
-	var names []string
+	type staged struct {
+		name, path string
+		m          *core.Model
+	}
+	stage := make([]staged, 0, len(paths))
 	for _, p := range paths {
-		name, err := r.LoadFile(p, "")
+		name, m, err := readModel(p, "")
+		if err == nil {
+			err = validateModel(name, m)
+		}
 		if err != nil {
+			return nil, fmt.Errorf("%w (no models were registered)", err)
+		}
+		stage = append(stage, staged{name: name, path: p, m: m})
+	}
+	names := make([]string, 0, len(stage))
+	for _, st := range stage {
+		if err := r.Add(st.name, st.m, st.path); err != nil {
 			return names, err
 		}
-		names = append(names, name)
+		cModelLoads.Inc()
+		names = append(names, st.name)
 	}
 	return names, nil
+}
+
+// ClientPath validates a path supplied over HTTP: hot-loading is
+// confined to the registry's model directory, so the path must be
+// relative and must still be inside the directory once cleaned.
+// Returns the cleaned path, which resolve anchors at the model dir.
+func (r *Registry) ClientPath(path string) (string, error) {
+	if r.dir == "" {
+		return "", fmt.Errorf("serve: hot-loading is disabled: the server has no model directory")
+	}
+	if filepath.IsAbs(path) {
+		return "", fmt.Errorf("serve: absolute load paths are not allowed; give a path relative to the model directory")
+	}
+	clean := filepath.Clean(path)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("serve: load path %q escapes the model directory", path)
+	}
+	return clean, nil
 }

@@ -134,8 +134,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models/load", s.handleModelsLoad)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/search", s.handleSearch)
-	return http.TimeoutHandler(mux, s.opt.Timeout,
+	return s.withTimeout(mux)
+}
+
+// withTimeout wraps h with the per-request deadline. http.TimeoutHandler
+// writes its error body without a Content-Type, which Go's sniffer would
+// label text/plain, so the JSON Content-Type is pre-set on the real
+// response writer; handlers on the non-timeout path set it themselves.
+func (s *Server) withTimeout(h http.Handler) http.Handler {
+	th := http.TimeoutHandler(h, s.opt.Timeout,
 		`{"error":{"code":"timeout","message":"request exceeded the server's per-request deadline"}}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
 }
 
 // Serve accepts connections on l until Shutdown. A server that was shut

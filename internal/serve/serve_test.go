@@ -360,6 +360,174 @@ func TestHotLoadAndList(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict after hot-load: %d", resp.StatusCode)
 	}
+
+	// Loads are confined to the model directory: absolute paths and
+	// paths that escape after cleaning are refused without touching the
+	// filesystem; a genuinely missing relative file is a load failure.
+	for _, p := range []string{"/etc/passwd", "../hot.json", "a/../../hot.json"} {
+		resp, body = postJSON(t, ts.URL+"/v1/models/load", `{"path":"`+p+`"}`)
+		if resp.StatusCode != http.StatusForbidden || !strings.Contains(string(body), "forbidden_path") {
+			t.Errorf("load %q: status %d body %s, want 403 forbidden_path", p, resp.StatusCode, body)
+		}
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/load", `{"dir":".."}`)
+	if resp.StatusCode != http.StatusForbidden || !strings.Contains(string(body), "forbidden_path") {
+		t.Errorf("load dir ..: status %d body %s, want 403 forbidden_path", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/models/load", `{"path":"not-here.json"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "load_failed") {
+		t.Errorf("load missing file: status %d body %s, want 400 load_failed", resp.StatusCode, body)
+	}
+
+	// {"dir":"."} reloads the model directory itself.
+	resp, body = postJSON(t, ts.URL+"/v1/models/load", `{"dir":"."}`)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hot") {
+		t.Errorf("reload dir .: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestHotReloadInvalidatesCache replaces a model under a live registry
+// name and checks the prediction cache cannot serve values computed by
+// the replaced model: the first predict after the reload is a cache
+// miss and bit-identical to the new model.
+func TestHotReloadInvalidatesCache(t *testing.T) {
+	m1 := buildTestModel(t, "reload")
+	// A second model over a shifted ground truth, so its predictions
+	// provably differ from m1's.
+	m2, err := core.BuildRBFModel(core.FuncEvaluator(func(c design.Config) float64 {
+		return syntheticCPI(c) + 1
+	}), 40, core.Options{
+		LHSCandidates: 16,
+		RBF:           rbf.Options{PMinGrid: []int{1, 2}, AlphaGrid: []float64{5, 9}},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Name = "reload"
+
+	s := New(Options{})
+	if err := s.Registry().Add("reload", m1, ""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := toWire(m1.Configs[0])
+	js, _ := json.Marshal(map[string]any{"model": "reload", "config": cfg})
+	predict := func() prediction {
+		t.Helper()
+		_, body := postJSON(t, ts.URL+"/v1/predict", string(js))
+		var pr predictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("%v in %s", err, body)
+		}
+		if len(pr.Predictions) != 1 {
+			t.Fatalf("got %d predictions", len(pr.Predictions))
+		}
+		return pr.Predictions[0]
+	}
+
+	before := predict()
+	if before.Value != m1.PredictConfig(m1.Configs[0]) {
+		t.Fatalf("pre-reload value %v, want %v", before.Value, m1.PredictConfig(m1.Configs[0]))
+	}
+	if !predict().Cached {
+		t.Fatal("repeat predict not served from cache")
+	}
+
+	if err := s.Registry().Add("reload", m2, ""); err != nil {
+		t.Fatal(err)
+	}
+	after := predict()
+	if after.Cached {
+		t.Fatal("first predict after hot-reload served from the stale cache")
+	}
+	if want := m2.PredictConfig(m1.Configs[0]); after.Value != want {
+		t.Fatalf("post-reload value %v, want new model's %v (stale was %v)", after.Value, want, before.Value)
+	}
+	if after.Value == before.Value {
+		t.Fatal("test models predict identically; shifted ground truth did not shift the fit")
+	}
+}
+
+// TestAddRejectsUndecodableSpace: a model whose persisted space lacks a
+// paper parameter must fail registration with a structured error, not
+// panic inside the first /v1/predict.
+func TestAddRejectsUndecodableSpace(t *testing.T) {
+	m := buildTestModel(t, "bad")
+	m.Space = &design.Space{Params: m.Space.Params[:len(m.Space.Params)-1]} // drop dl1_lat
+	r := NewRegistry("")
+	if err := r.Add("bad", m, ""); err == nil || !strings.Contains(err.Error(), design.DL1Lat) {
+		t.Fatalf("Add = %v, want error naming the missing parameter %q", err, design.DL1Lat)
+	}
+
+	// The same model arriving through the hot-load path is rejected too.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	saveModel(t, m, path)
+	r2 := NewRegistry(dir)
+	if _, err := r2.LoadFile("bad.json", ""); err == nil {
+		t.Fatal("LoadFile registered a model with an undecodable space")
+	}
+	if r2.Len() != 0 {
+		t.Fatalf("registry holds %d models after a rejected load", r2.Len())
+	}
+}
+
+// TestLoadDirAllOrNothing: one bad file in a directory load leaves the
+// registry exactly as it was, so the client never observes a partially
+// applied load after an error response.
+func TestLoadDirAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, buildTestModel(t, "good"), filepath.Join(dir, "good.json"))
+	// Sorts after good.json, so staging is what protects the registry.
+	if err := os.WriteFile(filepath.Join(dir, "zzz-bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(dir)
+	names, err := r.LoadDir("")
+	if err == nil {
+		t.Fatalf("LoadDir succeeded over a corrupt file: %v", names)
+	}
+	if !strings.Contains(err.Error(), "no models were registered") {
+		t.Fatalf("LoadDir error %q does not state the registry is untouched", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("registry holds %d models after a failed directory load", r.Len())
+	}
+}
+
+// TestTimeoutResponseIsJSON: the one error shape http.TimeoutHandler
+// writes itself must still reach clients as application/json.
+func TestTimeoutResponseIsJSON(t *testing.T) {
+	s := New(Options{Timeout: 20 * time.Millisecond})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // TimeoutHandler cancels this at the deadline
+	})
+	ts := httptest.NewServer(s.withTimeout(slow))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != "timeout" {
+		t.Fatalf("error code %q, want %q", body.Error.Code, "timeout")
+	}
 }
 
 func TestStructuredErrors(t *testing.T) {
@@ -388,7 +556,9 @@ func TestStructuredErrors(t *testing.T) {
 		{"search bad verify", "/v1/search", `{"model":"errs","verify":"psychic"}`, http.StatusBadRequest, "bad_request"},
 		{"search needs sim", "/v1/search", `{"model":"errs","verify":"sim"}`, http.StatusBadRequest, "no_simulator"},
 		{"load without path", "/v1/models/load", `{}`, http.StatusBadRequest, "bad_request"},
-		{"load missing file", "/v1/models/load", `{"path":"/definitely/not/here.json"}`, http.StatusBadRequest, "load_failed"},
+		// This server has no -models directory, so hot-loading anything
+		// is refused outright.
+		{"load without model dir", "/v1/models/load", `{"path":"here.json"}`, http.StatusForbidden, "forbidden_path"},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, ts.URL+tc.url, tc.body)
