@@ -1,0 +1,199 @@
+// Command benchobs measures the per-call cost of the observability
+// primitives (counters, histograms, span timing, context-propagated
+// trace spans) in every state the pipeline runs in — instrumentation
+// disabled (the default every simulation pays), enabled (when -report or
+// /metricz is live), and traced (when a -trace timeline or a served
+// request is recording) — plus the end-to-end overhead of building a
+// model with tracing on versus off. The report goes to BENCH_obs.json
+// (override with -out).
+//
+// The point of the numbers: the disabled paths must be a few
+// nanoseconds (an atomic load and branch), so leaving the
+// instrumentation compiled into the hot loops costs nothing when no
+// sink is attached.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"predperf/internal/core"
+	"predperf/internal/obs"
+)
+
+// Report is the JSON schema of BENCH_obs.json.
+type Report struct {
+	Host  Host               `json:"host"`
+	Ops   map[string]float64 `json:"ops_ns"`    // per-op cost, nanoseconds
+	Build BuildOverhead      `json:"build"`     // end-to-end tracing overhead
+	Iters int                `json:"ops_iters"` // iterations behind each ops_ns figure
+}
+
+// Host records the hardware the numbers were taken on.
+type Host struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// BuildOverhead compares a full model build with tracing off and on.
+type BuildOverhead struct {
+	UntracedSec float64 `json:"untraced_sec"`
+	TracedSec   float64 `json:"traced_sec"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Spans       int     `json:"spans_recorded"`
+}
+
+// perOp times f() over iters iterations, repeats times, and returns the
+// best per-op nanoseconds.
+func perOp(repeats, iters int, f func()) float64 {
+	best := 0.0
+	for r := 0; r < repeats; r++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if d := float64(time.Since(t0).Nanoseconds()) / float64(iters); r == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchobs: ")
+
+	bench := flag.String("bench", "mcf", "benchmark workload for the build-overhead leg")
+	insts := flag.Int("insts", 30_000, "trace length in dynamic instructions")
+	size := flag.Int("sample", 60, "training sample size")
+	iters := flag.Int("iters", 1_000_000, "iterations per micro-measurement")
+	repeats := flag.Int("repeats", 3, "repetitions per timing (best is kept)")
+	outFile := flag.String("out", "BENCH_obs.json", "report destination")
+	flag.Parse()
+	if *repeats < 1 {
+		*repeats = 1
+	}
+
+	rep := Report{
+		Host: Host{
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+		},
+		Ops:   map[string]float64{},
+		Iters: *iters,
+	}
+
+	// Micro costs: each primitive in each instrumentation state.
+	c := obs.NewCounter("benchobs.counter")
+	obs.Disable()
+	rep.Ops["counter_inc"] = perOp(*repeats, *iters, func() { c.Inc() })
+
+	h := obs.NewHistogram("benchobs.hist", obs.DefLatencyBuckets)
+	rep.Ops["histogram_observe"] = perOp(*repeats, *iters, func() { h.Observe(0.001) })
+
+	hv := obs.NewHistogramVec("benchobs.hist_vec", obs.DefLatencyBuckets, "route")
+	rep.Ops["histogram_vec_with_observe"] = perOp(*repeats, *iters, func() { hv.With("/v1/predict").Observe(0.001) })
+
+	obs.Disable()
+	rep.Ops["span_disabled"] = perOp(*repeats, *iters, func() { obs.StartSpan("benchobs.span")() })
+	obs.Enable()
+	rep.Ops["span_enabled"] = perOp(*repeats, *iters, func() { obs.StartSpan("benchobs.span")() })
+	obs.Disable()
+
+	bg := context.Background()
+	rep.Ops["spanctx_disabled_no_trace"] = perOp(*repeats, *iters, func() {
+		_, end := obs.StartSpanCtx(bg, "benchobs.spanctx")
+		end()
+	})
+	tctx := obs.WithTrace(bg, obs.NewTrace("benchobs"))
+	rep.Ops["spanctx_traced"] = perOp(*repeats, *iters/10, func() {
+		_, end := obs.StartSpanCtx(tctx, "benchobs.spanctx")
+		end()
+	})
+
+	// End-to-end: the same build untraced vs. traced. The models are
+	// checked bit-identical (the determinism contract of the obs layer).
+	if _, err := core.NewSimEvaluator(*bench, *insts); err != nil {
+		log.Fatal(err) // warm the trace cache
+	}
+	build := func(ctx context.Context) *core.Model {
+		ev, err := core.NewSimEvaluator(*bench, *insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := core.BuildRBFModelCtx(ctx, ev, *size, core.Options{LHSCandidates: 32, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	bestSec := func(f func()) float64 {
+		best := 0.0
+		for r := 0; r < *repeats; r++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0).Seconds(); r == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var plain, traced *core.Model
+	var tr *obs.Trace
+	rep.Build.UntracedSec = bestSec(func() { plain = build(bg) })
+	rep.Build.TracedSec = bestSec(func() {
+		tr = obs.NewTrace("benchobs-build")
+		traced = build(obs.WithTrace(bg, tr))
+	})
+	rep.Build.Spans = tr.Len()
+	if rep.Build.UntracedSec > 0 {
+		rep.Build.OverheadPct = 100 * (rep.Build.TracedSec - rep.Build.UntracedSec) / rep.Build.UntracedSec
+	}
+	identical := plain.Discrepancy == traced.Discrepancy &&
+		plain.Fit.PMin == traced.Fit.PMin &&
+		plain.Fit.Alpha == traced.Fit.Alpha &&
+		plain.Fit.AICc == traced.Fit.AICc
+	for i := range plain.Responses {
+		if plain.Responses[i] != traced.Responses[i] {
+			identical = false
+		}
+	}
+	if !identical {
+		log.Fatal("traced and untraced builds produced different models")
+	}
+
+	f, err := os.Create(*outFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, k := range []string{
+		"counter_inc", "histogram_observe", "histogram_vec_with_observe",
+		"span_disabled", "span_enabled", "spanctx_disabled_no_trace", "spanctx_traced",
+	} {
+		fmt.Printf("  %-28s %8.1f ns/op\n", k, rep.Ops[k])
+	}
+	fmt.Printf("build: untraced %.2fs, traced %.2fs (+%.1f%%, %d spans, models bit-identical)\n",
+		rep.Build.UntracedSec, rep.Build.TracedSec, rep.Build.OverheadPct, rep.Build.Spans)
+	fmt.Printf("report written to %s\n", *outFile)
+}

@@ -16,13 +16,17 @@
 //
 // Observability (internal/obs): -report writes a machine-readable JSON
 // run report (host info, per-stage wall-clock spans, pipeline counters
-// such as simulations run vs. cache hits); -progress prints periodic
-// counter summaries to stderr during the build; -pprof serves
-// net/http/pprof on the given address. None of these affect the built
-// model.
+// such as simulations run vs. cache hits); -trace writes a Chrome
+// trace-event JSON timeline of the standard (non-adaptive) build —
+// LHS candidate scoring, per-design-point simulations, and (p_min, α)
+// grid cells as nested parallel lanes, loadable in chrome://tracing or
+// Perfetto; -progress prints periodic counter summaries to stderr
+// during the build; -pprof serves net/http/pprof on the given address.
+// None of these affect the built model.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -57,13 +61,24 @@ func main() {
 	loadFile := flag.String("load", "", "load a model instead of building one")
 	predict := flag.String("predict", "", "comma-separated config to predict, e.g. depth=12,rob=96,...")
 	report := flag.String("report", "", "write a JSON run report (stage timings, counters, host info) to this file")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the build (load in chrome://tracing) to this file")
 	progress := flag.Bool("progress", false, "print periodic pipeline counters to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if *report != "" || *progress || *pprofAddr != "" {
+	if *report != "" || *progress || *pprofAddr != "" || *traceFile != "" {
 		obs.Enable()
 		obs.Reset()
+	}
+	// -trace attaches a run-scoped trace to the build context; every
+	// stage span (sampling, per-design-point sims, RBF grid cells)
+	// lands on it as a parent/child timeline. Tracing observes, never
+	// perturbs: the built model is bit-identical either way.
+	buildCtx := context.Background()
+	var buildTrace *obs.Trace
+	if *traceFile != "" {
+		buildTrace = obs.NewTrace("")
+		buildCtx = obs.WithTrace(buildCtx, buildTrace)
 	}
 	if *progress {
 		stop := obs.StartProgress(os.Stderr, 2*time.Second)
@@ -132,7 +147,7 @@ func main() {
 	default:
 		fmt.Printf("building RBF model for %s (%s): %d design points, %d-instruction traces\n",
 			*bench, metric, *sampleSize, *insts)
-		m, err = predperf.BuildModel(ev, *sampleSize, opt)
+		m, err = predperf.BuildModelCtx(buildCtx, ev, *sampleSize, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -153,7 +168,7 @@ func main() {
 	fmt.Printf("  simulations run    : %d\n", base.Simulations())
 
 	if *linear {
-		lm, err := predperf.BuildLinear(ev, *sampleSize, opt)
+		lm, err := predperf.BuildLinearCtx(buildCtx, ev, *sampleSize, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -187,6 +202,21 @@ func main() {
 		fmt.Printf("  model %s     : %.4f\n", metric, pred)
 		fmt.Printf("  simulated %s : %.4f (error %.2f%%)\n", metric, actual,
 			100*abs(pred-actual)/actual)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buildTrace.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace (%d spans, id %s) written to %s\n",
+			buildTrace.Len(), buildTrace.ID(), *traceFile)
 	}
 
 	if *report != "" {

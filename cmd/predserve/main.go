@@ -13,6 +13,15 @@
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/predict -d \
 //	  '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}'
+//	curl localhost:8080/metricz?format=prom   # Prometheus text exposition
+//
+// Every request is stamped with an X-Request-Id (the client's, if
+// sent; generated otherwise), echoed in the response and written to
+// the JSON-lines access log (-access-log: "stderr" by default, "off"
+// to disable, or a file path to append to) with method, path, status,
+// bytes, and duration. /metricz serves counters, gauges, per-route
+// latency histograms, and spans as JSON, or as Prometheus text with
+// ?format=prom; -pprof serves net/http/pprof on a side address.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes
 // immediately, in-flight requests get -drain to finish, and the process
@@ -23,8 +32,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +62,8 @@ func main() {
 	searchInsts := flag.Int("search-insts", 50_000, "trace length for simulator-verified /v1/search")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	progress := flag.Bool("progress", false, "print periodic request counters to stderr")
+	accessLog := flag.String("access-log", "stderr", `JSON-lines access log destination: "stderr", "off", or a file path (appended)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	flag.Parse()
 
 	// Span timing is always on: /metricz is part of the API, and the
@@ -58,6 +72,26 @@ func main() {
 	if *progress {
 		stop := obs.StartProgress(os.Stderr, 2*time.Second)
 		defer stop()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
+	var accessW io.Writer
+	switch *accessLog {
+	case "off", "":
+		// disabled
+	case "stderr":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening access log: %v", err)
+		}
+		defer f.Close()
+		accessW = f
 	}
 
 	srv := serve.New(serve.Options{
@@ -68,6 +102,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		SearchTraceLen: *searchInsts,
 		ModelDir:       *modelsDir,
+		AccessLog:      accessW,
 	})
 	if *modelsDir != "" {
 		names, err := srv.Registry().LoadDir("")

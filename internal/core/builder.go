@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 
 	"predperf/internal/design"
 	"predperf/internal/linreg"
@@ -82,11 +84,12 @@ func (m *Model) PredictConfig(cfg design.Config) float64 {
 
 // sampleAndSimulate draws the space-filling sample (steps 2–3 of the
 // procedure) and obtains responses from the evaluator, optionally with
-// several workers.
-func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point, cfgs []design.Config, ys []float64, disc float64) {
-	endSample := obs.StartSpan("core.sample")
+// several workers. The stage spans attach to the trace in ctx when one
+// is active.
+func sampleAndSimulate(ctx context.Context, ev Evaluator, size int, opt Options) (pts []design.Point, cfgs []design.Config, ys []float64, disc float64) {
+	sctx, endSample := obs.StartSpanCtx(ctx, "core.sample")
 	rng := rand.New(rand.NewSource(opt.Seed))
-	raw, disc := sample.BestLHSWorkers(opt.Space, size, opt.LHSCandidates, rng, opt.Parallel)
+	raw, disc := sample.BestLHSCtx(sctx, opt.Space, size, opt.LHSCandidates, rng, opt.Parallel)
 	pts = make([]design.Point, len(raw))
 	cfgs = make([]design.Config, len(raw))
 	ys = make([]float64, len(raw))
@@ -96,16 +99,24 @@ func sampleAndSimulate(ev Evaluator, size int, opt Options) (pts []design.Point,
 		pts[i] = opt.Space.Encode(cfg)
 	}
 	endSample()
-	defer obs.StartSpan("core.simulate")()
-	evalAll(ev, cfgs, ys, opt.Parallel)
+	simCtx, endSim := obs.StartSpanCtx(ctx, "core.simulate")
+	defer endSim()
+	evalAll(simCtx, ev, cfgs, ys, opt.Parallel)
 	return pts, cfgs, ys, disc
 }
 
 // evalAll fills ys[i] = ev.Eval(cfgs[i]), using workers goroutines when
 // workers > 1. Responses land at fixed indices, so results are
-// deterministic for a deterministic evaluator.
-func evalAll(ev Evaluator, cfgs []design.Config, ys []float64, workers int) {
+// deterministic for a deterministic evaluator. Under an active trace
+// every design-point evaluation gets its own child span, so the Chrome
+// export shows the simulation fan-out point by point.
+func evalAll(ctx context.Context, ev Evaluator, cfgs []design.Config, ys []float64, workers int) {
+	traced := obs.TraceFrom(ctx) != nil
 	par.For(workers, len(cfgs), func(i int) {
+		if traced {
+			_, end := obs.StartSpanCtx(ctx, "core.sim_point", "i", strconv.Itoa(i))
+			defer end()
+		}
 		ys[i] = ev.Eval(cfgs[i])
 	})
 }
@@ -116,14 +127,26 @@ func evalAll(ev Evaluator, cfgs []design.Config, ys []float64, workers int) {
 // network with regression-tree centers and AICc subset selection,
 // searching the (p_min, α) grid.
 func BuildRBFModel(ev Evaluator, size int, opt Options) (*Model, error) {
+	return BuildRBFModelCtx(context.Background(), ev, size, opt)
+}
+
+// BuildRBFModelCtx is BuildRBFModel with context propagation: when ctx
+// carries an obs.Trace (obs.WithTrace), every stage of the build —
+// sampling with per-candidate scoring spans, per-design-point
+// simulation, and the (p_min, α) grid search — records parent/child
+// spans on it, giving the Chrome trace export a full timeline of the
+// parallel build. Tracing observes and never perturbs: the built model
+// is bit-identical with or without an active trace.
+func BuildRBFModelCtx(ctx context.Context, ev Evaluator, size int, opt Options) (*Model, error) {
 	if size < 4 {
 		return nil, errors.New("core: sample size must be at least 4")
 	}
 	opt = opt.withDefaults()
-	defer obs.StartSpan("core.build_rbf")()
-	pts, cfgs, ys, disc := sampleAndSimulate(ev, size, opt)
-	endFit := obs.StartSpan("core.fit")
-	fit, err := rbf.Fit(asFloats(pts), ys, opt.RBF)
+	ctx, end := obs.StartSpanCtx(ctx, "core.build_rbf")
+	defer end()
+	pts, cfgs, ys, disc := sampleAndSimulate(ctx, ev, size, opt)
+	fitCtx, endFit := obs.StartSpanCtx(ctx, "core.fit")
+	fit, err := rbf.FitCtx(fitCtx, asFloats(pts), ys, opt.RBF)
 	endFit()
 	if err != nil {
 		return nil, fmt.Errorf("core: RBF fit failed: %w", err)
@@ -156,13 +179,20 @@ func (m *LinearModel) Predict(pt design.Point) float64 {
 // BuildLinearModel builds the baseline linear model from an identically
 // constructed sample (same seed → same sample as the RBF build).
 func BuildLinearModel(ev Evaluator, size int, opt Options) (*LinearModel, error) {
+	return BuildLinearModelCtx(context.Background(), ev, size, opt)
+}
+
+// BuildLinearModelCtx is BuildLinearModel with context propagation (see
+// BuildRBFModelCtx).
+func BuildLinearModelCtx(ctx context.Context, ev Evaluator, size int, opt Options) (*LinearModel, error) {
 	if size < 4 {
 		return nil, errors.New("core: sample size must be at least 4")
 	}
 	opt = opt.withDefaults()
-	defer obs.StartSpan("core.build_linear")()
-	pts, _, ys, _ := sampleAndSimulate(ev, size, opt)
-	endFit := obs.StartSpan("core.fit")
+	ctx, end := obs.StartSpanCtx(ctx, "core.build_linear")
+	defer end()
+	pts, _, ys, _ := sampleAndSimulate(ctx, ev, size, opt)
+	_, endFit := obs.StartSpanCtx(ctx, "core.fit")
 	fit, err := linreg.Fit(asFloats(pts), ys)
 	endFit()
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -265,10 +266,10 @@ func TestEvalAllDeterministicAcrossWorkerCounts(t *testing.T) {
 		cfgs[i] = space.Decode(pt, len(cfgs))
 	}
 	want := make([]float64, len(cfgs))
-	evalAll(ev, cfgs, want, 1)
+	evalAll(context.Background(), ev, cfgs, want, 1)
 	for _, workers := range []int{2, 3, 8, 100} {
 		got := make([]float64, len(cfgs))
-		evalAll(ev, cfgs, got, workers)
+		evalAll(context.Background(), ev, cfgs, got, workers)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: ys[%d] = %v, serial %v", workers, i, got[i], want[i])

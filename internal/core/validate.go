@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -99,7 +100,7 @@ func NewTestSetWorkers(ev Evaluator, testSpace *design.Space, n int, seed int64,
 	for i, p := range pts {
 		ts.Configs[i] = testSpace.Decode(p, n)
 	}
-	evalAll(ev, ts.Configs, ts.Actual, par.Workers(workers))
+	evalAll(context.Background(), ev, ts.Configs, ts.Actual, par.Workers(workers))
 	return ts
 }
 

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBuckets(0, 2, 4) },
+		func() { ExponentialBuckets(1, 1, 4) },
+		func() { ExponentialBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for invalid bucket spec")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestHistogramConcurrentExact proves the lock-free bucket counts are
+// exact: under concurrent Observe calls (run this with -race), the sum
+// of bucket counts equals the number of adds, and so does Count.
+func TestHistogramConcurrentExact(t *testing.T) {
+	h := NewHistogram("test.hist_concurrent", ExponentialBuckets(1, 2, 8))
+	h.reset()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Spread observations across all buckets, including
+				// the underflow-into-first and +Inf overflow cases.
+				h.Observe(float64((w*per + i) % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range h.bucketCounts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("sum of buckets = %d, want %d", total, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	var wantSum float64
+	for i := 0; i < workers*per; i++ {
+		wantSum += float64(i % 300)
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantileBounds checks the interpolated quantiles against
+// a known distribution: the estimate must land inside the bucket that
+// contains the true quantile.
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram("test.hist_quantile", []float64{10, 20, 40, 80, 160})
+	h.reset()
+	// Uniform 0..99: p50 ≈ 50 (inside (40,80]), p90 ≈ 90 (inside
+	// (80,160]), p99 ≈ 99 (same bucket).
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q      float64
+		lo, hi float64
+	}{
+		{0.50, 40, 80},
+		{0.90, 80, 160},
+		{0.99, 80, 160},
+		{0.05, 0, 10},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%g) = %g, want within [%g, %g]", c.q, got, c.lo, c.hi)
+		}
+	}
+	// Exact interpolation inside one bucket: 41 observations at or
+	// below 40 (0..40), 40 in (40,80]; rank 50 of 100 →
+	// 40 + (80-40)·(50-41)/40 = 49.
+	if got, want := h.Quantile(0.50), 49.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want %g (linear interpolation)", got, want)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram("test.hist_edge", []float64{1, 2})
+	h.reset()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// All observations overflow: the estimate saturates at the highest
+	// finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want 2 (highest finite bound)", got)
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	v := NewHistogramVec("test.hist_vec", []float64{1, 10}, "route")
+	v.reset()
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(0.7)
+	v.With("/b").Observe(5)
+	if a := v.With("/a"); a.Count() != 2 {
+		t.Fatalf("child /a count = %d, want 2", a.Count())
+	}
+	rep := Snapshot()
+	st, ok := rep.Histograms[`test.hist_vec{route="/a"}`]
+	if !ok {
+		t.Fatalf("labeled histogram missing from snapshot: %v", rep.Histograms)
+	}
+	if st.Count != 2 {
+		t.Fatalf("snapshot count = %d, want 2", st.Count)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for wrong label arity")
+			}
+		}()
+		v.With("/a", "extra")
+	}()
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge("test.gauge")
+	g.Set(0)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if g.Value() != 11 {
+		t.Fatalf("gauge = %d, want 11", g.Value())
+	}
+	if NewGauge("test.gauge") != g {
+		t.Fatal("duplicate gauge registration returned a distinct gauge")
+	}
+}
+
+func TestGaugeFuncRebinds(t *testing.T) {
+	n := 41.0
+	NewGaugeFunc("test.gauge_func", func() float64 { return n })
+	g := NewGaugeFunc("test.gauge_func", func() float64 { return n + 1 })
+	if g.Value() != 42 {
+		t.Fatalf("gauge func = %g, want 42 (latest binding wins)", g.Value())
+	}
+	if got := Snapshot().Gauges["test.gauge_func"]; got != 42 {
+		t.Fatalf("snapshot gauge = %g, want 42", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec("test.counter_vec", "model")
+	v.reset()
+	v.With("mcf").Add(3)
+	v.With("gcc").Inc()
+	v.With("mcf").Inc()
+	if got := v.With("mcf").Value(); got != 4 {
+		t.Fatalf("child mcf = %d, want 4", got)
+	}
+	all := Counters()
+	if all[`test.counter_vec{model="mcf"}`] != 4 || all[`test.counter_vec{model="gcc"}`] != 1 {
+		t.Fatalf("labeled counters missing from Counters(): %v", all)
+	}
+	if NewCounterVec("test.counter_vec", "model") != v {
+		t.Fatal("duplicate family registration returned a distinct family")
+	}
+}
+
+// TestMetricKindCollisionPanics: one name, two kinds is a programming
+// error that must fail loudly, not shadow a series.
+func TestMetricKindCollisionPanics(t *testing.T) {
+	NewCounter("test.kind_collision")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering a gauge over a counter name")
+		}
+	}()
+	NewGauge("test.kind_collision")
+}
+
+// TestResetClearsNewMetricKinds: Reset must zero gauges and histograms
+// and drop labeled children, mirroring its counter behavior.
+func TestResetClearsNewMetricKinds(t *testing.T) {
+	g := NewGauge("test.reset_gauge")
+	h := NewHistogram("test.reset_hist", []float64{1})
+	v := NewCounterVec("test.reset_vec", "k")
+	g.Set(7)
+	h.Observe(0.5)
+	v.With("x").Inc()
+	Reset()
+	if g.Value() != 0 {
+		t.Fatalf("gauge survived reset: %d", g.Value())
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("histogram survived reset: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if cs := v.snapshot(); len(cs) != 0 {
+		t.Fatalf("family children survived reset: %d", len(cs))
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4) for every registered
+// metric, so /metricz?format=prom is scrapeable by any standard
+// collector.
+//
+// Naming scheme: the registered dotted name with every character outside
+// [a-zA-Z0-9_:] replaced by '_' — "serve.http_request_seconds" becomes
+// "serve_http_request_seconds". Counters keep their name as-is,
+// histograms expand into the conventional _bucket{le=...}/_sum/_count
+// series, and every span aggregate <name> is exported as
+// <name>_calls_total, <name>_seconds_total, and <name>_seconds_max.
+
+// PromContentType is the Content-Type of the exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registered metric name for Prometheus.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (optionally with an extra trailing
+// label, used for histogram "le") as {k="v",...}, or "" when empty.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered counter, gauge, histogram,
+// and span aggregate in the Prometheus text exposition format. Metrics
+// appear in registration order (labeled children in creation order
+// inside their family), spans last, sorted by name.
+func WritePrometheus(w io.Writer) error {
+	registry.mu.Lock()
+	order := make([]any, len(registry.order))
+	copy(order, registry.order)
+	spanNames := make([]string, 0, len(registry.spans))
+	for name := range registry.spans {
+		spanNames = append(spanNames, name)
+	}
+	spans := make(map[string]*spanStats, len(registry.spans))
+	for name, s := range registry.spans {
+		spans[name] = s
+	}
+	registry.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range order {
+		switch m := m.(type) {
+		case *Counter:
+			writePromCounter(&b, promName(m.name), []*Counter{m})
+		case *CounterVec:
+			writePromCounter(&b, promName(m.name), m.snapshot())
+		case *Gauge:
+			name := promName(m.name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, m.Value())
+		case *GaugeFunc:
+			name := promName(m.name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value()))
+		case *Histogram:
+			writePromHistogram(&b, promName(m.name), []*Histogram{m})
+		case *HistogramVec:
+			writePromHistogram(&b, promName(m.name), m.snapshot())
+		}
+	}
+
+	sort.Strings(spanNames)
+	for _, name := range spanNames {
+		s := spans[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s_calls_total counter\n%s_calls_total %d\n",
+			pn, pn, s.count.Load())
+		fmt.Fprintf(&b, "# TYPE %s_seconds_total counter\n%s_seconds_total %s\n",
+			pn, pn, promFloat(time.Duration(s.totalNs.Load()).Seconds()))
+		fmt.Fprintf(&b, "# TYPE %s_seconds_max gauge\n%s_seconds_max %s\n",
+			pn, pn, promFloat(time.Duration(s.maxNs.Load()).Seconds()))
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePromCounter(b *strings.Builder, name string, children []*Counter) {
+	fmt.Fprintf(b, "# TYPE %s counter\n", name)
+	for _, c := range children {
+		fmt.Fprintf(b, "%s%s %d\n", name, promLabels(c.labels), c.Value())
+	}
+}
+
+func writePromHistogram(b *strings.Builder, name string, children []*Histogram) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	for _, h := range children {
+		counts := h.bucketCounts()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = promFloat(h.bounds[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(h.labels, Label{Key: "le", Value: le}), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, promLabels(h.labels), promFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(h.labels), cum)
+	}
+}

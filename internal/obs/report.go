@@ -28,29 +28,51 @@ type StageStats struct {
 	MaxSec   float64 `json:"max_sec"`
 }
 
+// HistStats summarizes one histogram: observation count, value sum, and
+// interpolated latency quantiles (NaN-free: zero when empty).
+type HistStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"` // highest bucket bound reached (upper estimate)
+}
+
 // Report is the machine-readable run report the CLIs write for
 // -report. Stages covers every timed span, Counters every registered
-// counter (zero-valued ones included, so the schema is stable across
-// workloads), and Meta carries caller-specific run configuration (the
+// counter — including the children of labeled families, keyed
+// `name{k="v"}` — (zero-valued ones included, so the schema is stable
+// across workloads), Gauges every gauge, Histograms every histogram's
+// summary, and Meta carries caller-specific run configuration (the
 // benchmark, scale, flag values, ...).
 type Report struct {
-	Format   int                   `json:"format"`
-	Host     Host                  `json:"host"`
-	Started  time.Time             `json:"started"`
-	WallSec  float64               `json:"wall_sec"`
-	Stages   map[string]StageStats `json:"stages"`
-	Counters map[string]int64      `json:"counters"`
-	Meta     map[string]string     `json:"meta,omitempty"`
+	Format     int                   `json:"format"`
+	Host       Host                  `json:"host"`
+	Started    time.Time             `json:"started"`
+	WallSec    float64               `json:"wall_sec"`
+	Stages     map[string]StageStats `json:"stages"`
+	Counters   map[string]int64      `json:"counters"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]HistStats  `json:"histograms,omitempty"`
+	Meta       map[string]string     `json:"meta,omitempty"`
 }
 
 // reportFormat versions the report schema.
 const reportFormat = 1
 
 // Snapshot captures the current observability state as a report. The
-// caller may fill Meta before writing it out.
+// caller may fill Meta before writing it out. Callback gauges are
+// evaluated outside the registry lock.
 func Snapshot() *Report {
 	registry.mu.Lock()
-	defer registry.mu.Unlock()
+	spans := make(map[string]*spanStats, len(registry.spans))
+	for name, s := range registry.spans {
+		spans[name] = s
+	}
+	start := registry.start
+	registry.mu.Unlock()
+
 	rep := &Report{
 		Format: reportFormat,
 		Host: Host{
@@ -60,22 +82,42 @@ func Snapshot() *Report {
 			OS:         runtime.GOOS,
 			Arch:       runtime.GOARCH,
 		},
-		Started:  registry.start,
-		WallSec:  time.Since(registry.start).Seconds(),
-		Stages:   make(map[string]StageStats, len(registry.spans)),
-		Counters: make(map[string]int64, len(registry.counters)),
+		Started:  start,
+		WallSec:  time.Since(start).Seconds(),
+		Stages:   make(map[string]StageStats, len(spans)),
+		Counters: Counters(),
 	}
-	for name, s := range registry.spans {
+	for name, s := range spans {
 		rep.Stages[name] = StageStats{
 			Count:    s.count.Load(),
 			TotalSec: time.Duration(s.totalNs.Load()).Seconds(),
 			MaxSec:   time.Duration(s.maxNs.Load()).Seconds(),
 		}
 	}
-	for _, c := range registry.counters {
-		rep.Counters[c.name] = c.v.Load()
+	if g := gaugeValues(); len(g) > 0 {
+		rep.Gauges = g
+	}
+	for _, h := range histogramSnapshot() {
+		if rep.Histograms == nil {
+			rep.Histograms = map[string]HistStats{}
+		}
+		rep.Histograms[h.displayName()] = histStats(h)
 	}
 	return rep
+}
+
+// histStats summarizes one histogram, mapping the NaN of an empty
+// histogram's quantiles to zero so the JSON stays plain numbers.
+func histStats(h *Histogram) HistStats {
+	st := HistStats{Count: h.Count(), Sum: h.Sum()}
+	if st.Count == 0 {
+		return st
+	}
+	st.P50 = h.Quantile(0.50)
+	st.P90 = h.Quantile(0.90)
+	st.P99 = h.Quantile(0.99)
+	st.Max = h.Quantile(1)
+	return st
 }
 
 // Write serializes the report as indented JSON.

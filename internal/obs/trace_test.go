@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("two generated IDs collided: %q", a)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(a) {
+		t.Fatalf("ID %q is not 16 hex chars", a)
+	}
+	if NewTrace("").ID() == "" {
+		t.Fatal("NewTrace(\"\") did not generate an ID")
+	}
+	if got := NewTrace("fixed").ID(); got != "fixed" {
+		t.Fatalf("NewTrace kept %q, want \"fixed\"", got)
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	tr := NewTrace("prop")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom invented a trace")
+	}
+
+	pctx, endParent := StartSpanCtx(ctx, "parent")
+	_, endChild := StartSpanCtx(pctx, "child", "k", "v")
+	endChild()
+	// Sibling started from the original ctx is a root, not a child.
+	_, endRoot := StartSpanCtx(ctx, "root2")
+	endRoot()
+	endParent()
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(tr.spans))
+	}
+	byName := map[string]traceSpan{}
+	for _, s := range tr.spans {
+		byName[s.name] = s
+	}
+	if byName["child"].parent != byName["parent"].id {
+		t.Fatalf("child.parent = %d, want %d", byName["child"].parent, byName["parent"].id)
+	}
+	if byName["parent"].parent != 0 || byName["root2"].parent != 0 {
+		t.Fatalf("roots should have parent 0: %+v", byName)
+	}
+	if len(byName["child"].args) != 2 || byName["child"].args[0] != "k" {
+		t.Fatalf("span args lost: %v", byName["child"].args)
+	}
+}
+
+// TestStartSpanCtxFeedsGlobalAggregates: the same call that records a
+// trace span also feeds the flat per-stage stats when span timing is
+// enabled — one instrumentation point, both sinks.
+func TestStartSpanCtxFeedsGlobalAggregates(t *testing.T) {
+	Enable()
+	defer Disable()
+	Reset()
+	ctx := WithTrace(context.Background(), NewTrace("both"))
+	_, end := StartSpanCtx(ctx, "test.both_sinks")
+	end()
+	if st := Snapshot().Stages["test.both_sinks"]; st.Count != 1 {
+		t.Fatalf("global aggregate count = %d, want 1", st.Count)
+	}
+}
+
+// TestStartSpanCtxNoSinksIsNoop: without a trace and with timing
+// disabled, no span is recorded anywhere.
+func TestStartSpanCtxNoSinksIsNoop(t *testing.T) {
+	Disable()
+	Reset()
+	ctx, end := StartSpanCtx(context.Background(), "test.ghost_ctx")
+	end()
+	if ctx != context.Background() {
+		t.Fatal("no-op span should return the input context")
+	}
+	if _, ok := Snapshot().Stages["test.ghost_ctx"]; ok {
+		t.Fatal("disabled ctx span recorded a stage")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("storm")
+	ctx := WithTrace(context.Background(), tr)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, end := StartSpanCtx(ctx, "work")
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("trace recorded %d spans, want %d", tr.Len(), workers*per)
+	}
+}
+
+// TestWriteChromeTrace validates the export end to end: the output is
+// valid JSON in the trace-event format, every span becomes one complete
+// ("X") event with µs timestamps, children are contained within their
+// parents, and overlapping siblings land on distinct tracks while a
+// lone child shares its parent's track.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace("export")
+	base := time.Now()
+	// Hand-build a deterministic forest:
+	//   root [0, 100ms]
+	//     ├─ a [10, 50] (child of root)
+	//     └─ b [20, 60] (child of root, overlaps a → new track)
+	//         └─ c [25, 40] (only child of b → shares b's track)
+	tr.spans = []traceSpan{
+		{id: 1, parent: 0, name: "root", start: base, dur: 100 * time.Millisecond},
+		{id: 2, parent: 1, name: "a", start: base.Add(10 * time.Millisecond), dur: 40 * time.Millisecond},
+		{id: 3, parent: 1, name: "b", start: base.Add(20 * time.Millisecond), dur: 40 * time.Millisecond},
+		{id: 4, parent: 3, name: "c", start: base.Add(25 * time.Millisecond), dur: 15 * time.Millisecond},
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for i, e := range out.TraceEvents {
+		byName[e.Name] = i
+	}
+	for _, name := range []string{"root", "a", "b", "c"} {
+		i, ok := byName[name]
+		if !ok {
+			t.Fatalf("span %q missing from export", name)
+		}
+		if e := out.TraceEvents[i]; e.Ph != "X" || e.PID != 1 {
+			t.Fatalf("span %q exported as %+v, want ph=X pid=1", name, e)
+		}
+	}
+	ev := func(name string) (ts, end float64, tid int64) {
+		e := out.TraceEvents[byName[name]]
+		return e.TS, e.TS + e.Dur, e.TID
+	}
+	rootTS, rootEnd, rootTID := ev("root")
+	aTS, aEnd, aTID := ev("a")
+	bTS, bEnd, bTID := ev("b")
+	cTS, cEnd, cTID := ev("c")
+	if aTS < rootTS || aEnd > rootEnd || bTS < rootTS || bEnd > rootEnd {
+		t.Fatal("children not contained in parent interval")
+	}
+	if cTS < bTS || cEnd > bEnd {
+		t.Fatal("grandchild not contained in its parent interval")
+	}
+	// a starts first → shares root's track; b overlaps a → new track;
+	// c is b's only child → shares b's track.
+	if aTID != rootTID {
+		t.Fatalf("first child track %d, want parent's %d", aTID, rootTID)
+	}
+	if bTID == aTID {
+		t.Fatal("overlapping siblings share a track")
+	}
+	if cTID != bTID {
+		t.Fatalf("lone child track %d, want parent's %d", cTID, bTID)
+	}
+	if durA := aEnd - aTS; durA < 39_000 || durA > 41_000 {
+		t.Fatalf("durations not in microseconds: a spans %.0fµs, want ≈40000", durA)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+}
+
+// TestWriteChromeTraceOrphan: a span whose parent never completed (the
+// request was exported mid-flight) must degrade to a root, not vanish.
+func TestWriteChromeTraceOrphan(t *testing.T) {
+	tr := NewTrace("orphan")
+	tr.spans = []traceSpan{
+		{id: 7, parent: 99, name: "lost", start: time.Now(), dur: time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"lost"`)) {
+		t.Fatal("orphan span dropped from export")
+	}
+}

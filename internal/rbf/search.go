@@ -1,8 +1,10 @@
 package rbf
 
 import (
+	"context"
 	"errors"
 	"math"
+	"strconv"
 
 	"predperf/internal/obs"
 	"predperf/internal/par"
@@ -76,11 +78,22 @@ var ErrNoModel = errors.New("rbf: no (p_min, alpha) combination produced a finit
 // in (p_min-major, α-minor) order with strict comparison, so ties break
 // toward the earliest grid cell exactly as the serial loop did.
 func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
+	return FitCtx(context.Background(), x, y, opt)
+}
+
+// FitCtx is Fit with context propagation: when ctx carries an obs.Trace,
+// the fit span and one child span per (p_min, α) grid cell attach to it,
+// so the Chrome trace export shows the grid search as parallel lanes.
+// Tracing only records timings — the selected model is bit-identical
+// with or without a trace.
+func FitCtx(ctx context.Context, x [][]float64, y []float64, opt Options) (*FitResult, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, errors.New("rbf: sample is empty or mismatched")
 	}
 	opt = opt.withDefaults()
-	defer obs.StartSpan("rbf.fit")()
+	ctx, end := obs.StartSpanCtx(ctx, "rbf.fit")
+	defer end()
+	traced := obs.TraceFrom(ctx) != nil
 	w := par.Workers(opt.Workers)
 	trees := par.Map(w, opt.PMinGrid, func(_, pmin int) *rtree.Tree {
 		cTrees.Inc()
@@ -91,6 +104,12 @@ func Fit(x [][]float64, y []float64, opt Options) (*FitResult, error) {
 	par.For(w, len(cells), func(c int) {
 		pi, ai := c/na, c%na
 		tr, alpha := trees[pi], opt.AlphaGrid[ai]
+		if traced {
+			_, endCell := obs.StartSpanCtx(ctx, "rbf.grid_cell",
+				"p_min", strconv.Itoa(opt.PMinGrid[pi]),
+				"alpha", strconv.FormatFloat(alpha, 'g', -1, 64))
+			defer endCell()
+		}
 		net, aicc, sse := FitTree(tr, x, y, alpha, opt.MinRadius)
 		cGridCells.Inc()
 		if math.IsInf(aicc, 1) || net.M() == 0 {

@@ -6,7 +6,9 @@
 package sample
 
 import (
+	"context"
 	"math/rand"
+	"strconv"
 
 	"predperf/internal/design"
 	"predperf/internal/obs"
@@ -83,10 +85,21 @@ func BestLHS(space *design.Space, n, candidates int, rng *rand.Rand) ([]design.P
 // worker count. Ties keep the earliest candidate, matching the serial
 // scan order.
 func BestLHSWorkers(space *design.Space, n, candidates int, rng *rand.Rand, workers int) ([]design.Point, float64) {
+	return BestLHSCtx(context.Background(), space, n, candidates, rng, workers)
+}
+
+// BestLHSCtx is BestLHSWorkers with context propagation: when ctx
+// carries an obs.Trace, the stage span and one child span per scored
+// candidate attach to it, so the Chrome trace export shows the candidate
+// scoring fan-out as parallel lanes. Tracing only records timings —
+// the selected sample is bit-identical with or without a trace.
+func BestLHSCtx(ctx context.Context, space *design.Space, n, candidates int, rng *rand.Rand, workers int) ([]design.Point, float64) {
 	if candidates < 1 {
 		candidates = 1
 	}
-	defer obs.StartSpan("sample.best_lhs")()
+	ctx, end := obs.StartSpanCtx(ctx, "sample.best_lhs")
+	defer end()
+	traced := obs.TraceFrom(ctx) != nil
 	cCandidates.Add(int64(candidates))
 	w := par.Workers(workers)
 	cands := make([][]design.Point, candidates)
@@ -99,7 +112,11 @@ func BestLHSWorkers(space *design.Space, n, candidates int, rng *rand.Rand, work
 	if candidates < w {
 		inner = (w + candidates - 1) / candidates
 	}
-	scores := par.Map(w, cands, func(_ int, s []design.Point) float64 {
+	scores := par.Map(w, cands, func(i int, s []design.Point) float64 {
+		if traced {
+			_, endCand := obs.StartSpanCtx(ctx, "sample.lhs_candidate", "i", strconv.Itoa(i))
+			defer endCand()
+		}
 		return StarDiscrepancyWorkers(s, inner)
 	})
 	best := 0

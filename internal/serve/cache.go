@@ -83,3 +83,6 @@ func (c *lru) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Cap reports the cache's entry capacity (0 when disabled).
+func (c *lru) Cap() int { return c.max }

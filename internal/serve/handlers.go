@@ -14,6 +14,10 @@ import (
 	"predperf/internal/search"
 )
 
+// cModelPredictions counts scored configurations per model, so /metricz
+// says which models actually take traffic.
+var cModelPredictions = obs.NewCounterVec("serve.model_predictions", "model")
+
 // wireConfig is the JSON shape of a processor configuration, using the
 // same short field names as the predperf CLI's -predict flag.
 type wireConfig struct {
@@ -126,14 +130,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ---- /metricz ----
 
+// handleMetricz reports the process's metrics. The default is the
+// internal/obs JSON snapshot (counters, gauges, histogram summaries,
+// span aggregates); ?format=prom switches to Prometheus text exposition
+// so any standard scraper can collect the same series.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := obs.Snapshot().Write(w); err != nil {
-		// Headers are gone; nothing useful left to send.
-		return
+	switch format := r.URL.Query().Get("format"); format {
+	case "prom", "prometheus":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		obs.Snapshot().Write(w)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			`unknown metrics format %q (want "json" or "prom")`, format)
 	}
 }
 
@@ -257,7 +271,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	defer obs.StartSpan("serve.predict")()
+	_, end := obs.StartSpanCtx(r.Context(), "serve.predict")
+	defer end()
 	var req predictRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -298,6 +313,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	cPredicts.Inc()
 	cBatchPts.Add(int64(len(batch)))
+	cModelPredictions.With(req.Model).Add(int64(len(batch)))
 	preds := make([]prediction, len(batch))
 	// Batch requests fan out over the shared worker pool; each point
 	// writes to its own slot, so the response order matches the request.
@@ -367,7 +383,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	defer obs.StartSpan("serve.search")()
+	_, end := obs.StartSpanCtx(r.Context(), "serve.search")
+	defer end()
 	var req searchRequest
 	if !s.readJSON(w, r, &req) {
 		return

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"predperf/internal/obs"
+)
+
+// Request-path observability: per-route latency histograms, per-route ×
+// status-code response totals, and an in-flight gauge. Routes are
+// normalized to the fixed route set (unknown paths collapse to "other")
+// so label cardinality stays bounded no matter what clients request.
+var (
+	hRequests  = obs.NewHistogramVec("serve.http_request_seconds", obs.DefLatencyBuckets, "route")
+	cResponses = obs.NewCounterVec("serve.http_responses", "route", "code")
+	gInflight  = obs.NewGauge("serve.inflight_requests")
+)
+
+// routes is the fixed label set for per-route metrics.
+var routes = map[string]bool{
+	"/healthz":        true,
+	"/metricz":        true,
+	"/v1/models":      true,
+	"/v1/models/load": true,
+	"/v1/predict":     true,
+	"/v1/search":      true,
+}
+
+// routeLabel normalizes a request path to a bounded label value.
+func routeLabel(path string) string {
+	if routes[path] {
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the status code and body size written through a
+// ResponseWriter, for the access log and response metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessLog serializes JSON-lines access entries to one writer. A mutex
+// keeps concurrent requests from interleaving partial lines.
+type accessLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLog(w io.Writer) *accessLog {
+	if w == nil {
+		return nil
+	}
+	return &accessLog{enc: json.NewEncoder(w)}
+}
+
+// accessEntry is one access-log line.
+type accessEntry struct {
+	Time      string  `json:"time"` // RFC 3339 with milliseconds
+	ID        string  `json:"id"`   // X-Request-Id (received or assigned)
+	Remote    string  `json:"remote,omitempty"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	DurMS     float64 `json:"dur_ms"`
+	UserAgent string  `json:"user_agent,omitempty"`
+}
+
+func (l *accessLog) log(e accessEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Encode(e)
+}
+
+// requestIDHeader is the header predserve reads and echoes on every
+// request; it doubles as the request's trace ID.
+const requestIDHeader = "X-Request-Id"
+
+// withObs is the outermost middleware: it assigns (or respects) the
+// request ID, attaches a request-scoped obs.Trace to the context so
+// handler spans parent under the request, tracks the in-flight gauge,
+// and — once the inner chain returns — records the per-route latency
+// histogram, the route × code response counter, and the access-log
+// line. It wraps the timeout handler, so a timed-out request is logged
+// with its real 503 and its full duration.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(id)))
+
+		gInflight.Inc()
+		defer gInflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+
+		d := time.Since(t0)
+		route := routeLabel(r.URL.Path)
+		hRequests.With(route).Observe(d.Seconds())
+		cResponses.With(route, strconv.Itoa(sw.status)).Inc()
+		s.access.log(accessEntry{
+			Time:      t0.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+			ID:        id,
+			Remote:    r.RemoteAddr,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    sw.status,
+			Bytes:     sw.bytes,
+			DurMS:     float64(d.Nanoseconds()) / 1e6,
+			UserAgent: r.UserAgent(),
+		})
+	})
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"predperf/internal/obs"
+)
+
+// newObsTestServer builds a one-model server with its access log wired
+// to an in-memory buffer, returning the server, the test listener, and
+// the buffer.
+func newObsTestServer(t *testing.T) (*Server, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	obs.Reset()
+	m := buildTestModel(t, "synthetic")
+	dir := t.TempDir()
+	saveModel(t, m, filepath.Join(dir, "synthetic.json"))
+	var logBuf bytes.Buffer
+	s := New(Options{ModelDir: dir, AccessLog: &logBuf})
+	if _, err := s.Registry().LoadDir(""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, &logBuf
+}
+
+func TestRequestIDMiddleware(t *testing.T) {
+	_, ts, logBuf := newObsTestServer(t)
+
+	// A client-supplied X-Request-Id is respected and echoed back.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-id-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-id-7" {
+		t.Fatalf("echoed id = %q, want client-id-7", got)
+	}
+
+	// Without the header, the server assigns a fresh 16-hex-char id.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	gen := resp2.Header.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(gen) {
+		t.Fatalf("generated id %q is not 16 hex chars", gen)
+	}
+
+	// Both requests land in the access log with their ids.
+	lines := parseAccessLog(t, logBuf)
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2", len(lines))
+	}
+	if lines[0].ID != "client-id-7" || lines[1].ID != gen {
+		t.Fatalf("logged ids = %q, %q; want client-id-7, %s", lines[0].ID, lines[1].ID, gen)
+	}
+}
+
+func parseAccessLog(t *testing.T, buf *bytes.Buffer) []accessEntry {
+	t.Helper()
+	var out []accessEntry
+	dec := json.NewDecoder(buf)
+	for dec.More() {
+		var e accessEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("access log is not JSON lines: %v", err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestAccessLogFields(t *testing.T) {
+	_, ts, logBuf := newObsTestServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", `{"model":"nope","configs":[]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("predict on missing model = %d, want 404", resp.StatusCode)
+	}
+	lines := parseAccessLog(t, logBuf)
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1", len(lines))
+	}
+	e := lines[0]
+	if e.Method != "POST" || e.Path != "/v1/predict" {
+		t.Fatalf("logged %s %s, want POST /v1/predict", e.Method, e.Path)
+	}
+	if e.Status != http.StatusNotFound {
+		t.Fatalf("logged status %d, want 404", e.Status)
+	}
+	if e.Bytes != int64(len(body)) {
+		t.Fatalf("logged %d bytes, response was %d", e.Bytes, len(body))
+	}
+	if e.DurMS < 0 {
+		t.Fatalf("negative duration %g", e.DurMS)
+	}
+	if _, err := time.Parse("2006-01-02T15:04:05.000Z07:00", e.Time); err != nil {
+		t.Fatalf("logged time %q is not RFC 3339 with milliseconds: %v", e.Time, err)
+	}
+	if e.Remote == "" {
+		t.Fatal("remote address missing from access log")
+	}
+}
+
+func TestMetriczProm(t *testing.T) {
+	_, ts, _ := newObsTestServer(t)
+
+	// Drive one predict so the request histogram and the per-model
+	// prediction counter have data.
+	resp, _ := postJSON(t, ts.URL+"/v1/predict",
+		`{"model":"synthetic","configs":[{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d", resp.StatusCode)
+	}
+
+	promResp, err := http.Get(ts.URL + "/metricz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(promResp.Body)
+	promResp.Body.Close()
+	if ct := promResp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`serve_http_request_seconds_bucket{route="/v1/predict",le="`,
+		`serve_http_request_seconds_sum{route="/v1/predict"}`,
+		`serve_http_request_seconds_count{route="/v1/predict"}`,
+		`serve_http_responses{route="/v1/predict",code="200"} 1`,
+		`serve_model_predictions{model="synthetic"} 1`,
+		`serve_cache_entries`,
+		`serve_cache_capacity`,
+		`serve_registry_models 1`,
+		`serve_inflight_requests`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+
+	// The JSON format carries the same series in the snapshot report.
+	jsonResp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.NewDecoder(jsonResp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	jsonResp.Body.Close()
+	if got := rep.Counters[`serve.model_predictions{model="synthetic"}`]; got != 1 {
+		t.Fatalf("JSON per-model predictions = %d, want 1", got)
+	}
+	if _, ok := rep.Gauges["serve.registry_models"]; !ok {
+		t.Fatalf("JSON report missing registry gauge: %v", rep.Gauges)
+	}
+	if _, ok := rep.Gauges["serve.cache_entries"]; !ok {
+		t.Fatalf("JSON report missing cache gauge: %v", rep.Gauges)
+	}
+	found := false
+	for name := range rep.Histograms {
+		if strings.HasPrefix(name, "serve.http_request_seconds{") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("JSON report missing request histogram: %v", rep.Histograms)
+	}
+
+	// Unknown formats are a client error, not a silent default.
+	badResp, err := http.Get(ts.URL + "/metricz?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml = %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestRouteLabelBounded: unknown paths collapse to "other" so clients
+// can't blow up label cardinality.
+func TestRouteLabelBounded(t *testing.T) {
+	_, ts, _ := newObsTestServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/made-up-%d", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metricz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), `serve_http_responses{route="other",code="404"} 3`) {
+		t.Fatal("unknown routes did not collapse to the \"other\" label")
+	}
+	if strings.Contains(buf.String(), "made-up") {
+		t.Fatal("raw client path leaked into metric labels")
+	}
+}

@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -72,6 +73,9 @@ type Options struct {
 	// ModelDir resolves relative paths in /v1/models/load and is
 	// scanned for *.json models by LoadDir.
 	ModelDir string
+	// AccessLog receives one JSON line per completed request (nil
+	// disables access logging). Writes are serialized by the server.
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -98,21 +102,30 @@ func (o Options) withDefaults() Options {
 
 // Server serves predictions from a registry of loaded models.
 type Server struct {
-	opt   Options
-	reg   *Registry
-	cache *lru
-	http  *http.Server
+	opt    Options
+	reg    *Registry
+	cache  *lru
+	access *accessLog
+	http   *http.Server
 }
 
 // New builds a Server with an empty registry. Load models through
 // Registry before (or while — the registry is hot-loadable) serving.
+// Serving internals that are otherwise invisible — prediction-cache
+// entries and capacity, registry size — are exported as callback gauges;
+// the obs registry is process-global, so the most recently constructed
+// Server owns these series.
 func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:   opt,
-		reg:   NewRegistry(opt.ModelDir),
-		cache: newLRU(opt.CacheSize),
+		opt:    opt,
+		reg:    NewRegistry(opt.ModelDir),
+		cache:  newLRU(opt.CacheSize),
+		access: newAccessLog(opt.AccessLog),
 	}
+	obs.NewGaugeFunc("serve.cache_entries", func() float64 { return float64(s.cache.Len()) })
+	obs.NewGaugeFunc("serve.cache_capacity", func() float64 { return float64(s.cache.Cap()) })
+	obs.NewGaugeFunc("serve.registry_models", func() float64 { return float64(s.reg.Len()) })
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -124,8 +137,12 @@ func New(opt Options) *Server {
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler returns the full API handler: the route mux wrapped with the
-// per-request timeout. Request-size limits are applied per route (the
-// body readers are capped with http.MaxBytesReader).
+// per-request timeout, wrapped in turn with the observability middleware
+// (request-ID assignment + request-scoped trace, per-route latency
+// histograms and response counters, in-flight gauge, access log) — so
+// even timed-out requests are logged and measured with their real 503.
+// Request-size limits are applied per route (the body readers are capped
+// with http.MaxBytesReader).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -134,7 +151,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models/load", s.handleModelsLoad)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/search", s.handleSearch)
-	return s.withTimeout(mux)
+	return s.withObs(s.withTimeout(mux))
 }
 
 // withTimeout wraps h with the per-request deadline. http.TimeoutHandler

@@ -28,6 +28,8 @@
 package predperf
 
 import (
+	"context"
+
 	"predperf/internal/core"
 	"predperf/internal/design"
 	"predperf/internal/search"
@@ -90,9 +92,23 @@ func BuildModel(ev Evaluator, sampleSize int, opt Options) (*Model, error) {
 	return core.BuildRBFModel(ev, sampleSize, opt)
 }
 
+// BuildModelCtx is BuildModel with context propagation: when ctx carries
+// an obs.Trace (internal/obs.WithTrace), every build stage records
+// parent/child spans on it for the Chrome trace export. The built model
+// is bit-identical with or without an active trace.
+func BuildModelCtx(ctx context.Context, ev Evaluator, sampleSize int, opt Options) (*Model, error) {
+	return core.BuildRBFModelCtx(ctx, ev, sampleSize, opt)
+}
+
 // BuildLinear builds the baseline linear model on an identical sample.
 func BuildLinear(ev Evaluator, sampleSize int, opt Options) (*LinearModel, error) {
 	return core.BuildLinearModel(ev, sampleSize, opt)
+}
+
+// BuildLinearCtx is BuildLinear with context propagation (see
+// BuildModelCtx).
+func BuildLinearCtx(ctx context.Context, ev Evaluator, sampleSize int, opt Options) (*LinearModel, error) {
+	return core.BuildLinearModelCtx(ctx, ev, sampleSize, opt)
 }
 
 // TestSet is an independent random validation set.

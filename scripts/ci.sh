@@ -36,7 +36,12 @@ cleanup_smoke() {
 }
 trap cleanup_smoke EXIT
 go run ./cmd/predperf -bench mcf -insts 2000 -sample 12 -lhs 8 -test 4 \
-    -save "$smoke_dir/mcf.json" > /dev/null
+    -save "$smoke_dir/mcf.json" -trace "$smoke_dir/build-trace.json" > /dev/null
+# The -trace flag must emit loadable Chrome trace-event JSON with nested
+# build spans.
+grep -q '"traceEvents"' "$smoke_dir/build-trace.json"
+grep -q '"name": "core.build_rbf"' "$smoke_dir/build-trace.json"
+grep -q '"name": "core.sim_point"' "$smoke_dir/build-trace.json"
 go build -o "$smoke_dir/predserve" ./cmd/predserve
 "$smoke_dir/predserve" -addr 127.0.0.1:0 -model "$smoke_dir/mcf.json" \
     > "$smoke_dir/predserve.log" 2>&1 &
@@ -53,12 +58,24 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"'
+# Every response carries an X-Request-Id (generated here; echoed if sent).
+curl -fsS -D - -o /dev/null "http://$addr/healthz" | grep -qi '^x-request-id:'
 curl -fsS -X POST "http://$addr/v1/predict" \
     -d '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}' \
     | grep -q '"value"'
+# Prometheus exposition must include at least one latency histogram series.
+curl -fsS "http://$addr/metricz?format=prom" | grep -q '_bucket{'
+curl -fsS "http://$addr/metricz?format=prom" | grep -q '^serve_http_request_seconds_count'
 kill -TERM "$smoke_pid"
 wait "$smoke_pid"   # non-zero (unclean drain) fails the gate via set -e
 smoke_pid=""
 grep -q "shut down cleanly" "$smoke_dir/predserve.log"
+# The access log (default: stderr) must have JSON lines with request ids.
+grep -q '"id":' "$smoke_dir/predserve.log"
+
+echo "== obs overhead report =="
+go run ./cmd/benchobs -iters 100000 -repeats 1 -sample 20 -insts 5000 \
+    -out "$smoke_dir/BENCH_obs.json" > /dev/null
+grep -q '"ops_ns"' "$smoke_dir/BENCH_obs.json"
 
 echo "CI gate passed."
