@@ -106,6 +106,15 @@ func main() {
 	hv := obs.NewHistogramVec("benchobs.hist_vec", obs.DefLatencyBuckets, "route")
 	rep.Ops["histogram_vec_with_observe"] = perOp(*repeats, *iters, func() { hv.With("/v1/predict").Observe(0.001) })
 
+	// Windowed views: read-side cost of the sliding-window layer. The
+	// write path is untouched (windows snapshot cumulative values), so
+	// only rate/stat reads and the rotation tick have a price.
+	wc := obs.WindowCounter(c, time.Now)
+	rep.Ops["windowed_counter_rate"] = perOp(*repeats, *iters/10, func() { wc.RateOver(time.Minute) })
+	wh := obs.WindowHistogram(h, time.Now)
+	rep.Ops["windowed_hist_stats"] = perOp(*repeats, *iters/10, func() { wh.StatsOver(time.Minute) })
+	rep.Ops["window_tick_all"] = perOp(*repeats, *iters/10, func() { obs.TickWindows() })
+
 	obs.Disable()
 	rep.Ops["span_disabled"] = perOp(*repeats, *iters, func() { obs.StartSpan("benchobs.span")() })
 	obs.Enable()
@@ -189,6 +198,7 @@ func main() {
 
 	for _, k := range []string{
 		"counter_inc", "histogram_observe", "histogram_vec_with_observe",
+		"windowed_counter_rate", "windowed_hist_stats", "window_tick_all",
 		"span_disabled", "span_enabled", "spanctx_disabled_no_trace", "spanctx_traced",
 	} {
 		fmt.Printf("  %-28s %8.1f ns/op\n", k, rep.Ops[k])

@@ -70,6 +70,11 @@ func main() {
 		obs.Enable()
 		obs.Reset()
 	}
+	if *report != "" {
+		// Goroutine/heap/GC gauges land in the report alongside the
+		// pipeline counters.
+		obs.RegisterRuntimeMetrics()
+	}
 	// -trace attaches a run-scoped trace to the build context; every
 	// stage span (sampling, per-design-point sims, RBF grid cells)
 	// lands on it as a parent/child timeline. Tracing observes, never

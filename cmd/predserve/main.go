@@ -23,6 +23,14 @@
 // latency histograms, and spans as JSON, or as Prometheus text with
 // ?format=prom; -pprof serves net/http/pprof on a side address.
 //
+// Operational endpoints beyond /healthz: /readyz answers 503 with
+// structured reasons while the registry is empty, an SLO burn rate
+// (-slo-latency, -slo-availability, -burn-threshold) exceeds its
+// threshold, or a model drifts from the simulator under shadow
+// sampling (-shadow-frac, -shadow-workers, -shadow-err-pct); /alertz
+// lists firing and resolved alerts with timestamps; /statusz is a
+// self-contained HTML dashboard.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes
 // immediately, in-flight requests get -drain to finish, and the process
 // exits 0 on a clean drain.
@@ -51,6 +59,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("predserve: ")
 
+	version := flag.Bool("version", false, "print build info (Go version, model format, VCS revision) and exit")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	modelsDir := flag.String("models", "", "directory of *.json models to load at startup (also anchors relative /v1/models/load paths)")
 	modelFiles := flag.String("model", "", "comma-separated model files to load at startup")
@@ -64,11 +73,35 @@ func main() {
 	progress := flag.Bool("progress", false, "print periodic request counters to stderr")
 	accessLog := flag.String("access-log", "stderr", `JSON-lines access log destination: "stderr", "off", or a file path (appended)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
+	sloLatency := flag.Duration("slo-latency", 250*time.Millisecond, "latency SLO: a request is good when it completes within this duration")
+	sloAvail := flag.Float64("slo-availability", 0.999, "target good fraction for the latency and availability SLOs (0 < x < 1)")
+	burnThreshold := flag.Float64("burn-threshold", obs.DefBurnThreshold, "SLO burn rate above which /readyz reports unready")
+	shadowFrac := flag.Float64("shadow-frac", 0, "fraction of served predictions re-checked on the cycle-level simulator (0 disables, 1 checks everything)")
+	shadowWorkers := flag.Int("shadow-workers", 1, "background shadow-simulation worker goroutines")
+	shadowErr := flag.Float64("shadow-err-pct", 25, "windowed mean shadow error (percent) above which a model counts as drifting (negative never trips)")
 	flag.Parse()
 
+	if *version {
+		b := serve.Build()
+		fmt.Printf("predserve %s model-format %d", b.GoVersion, b.ModelFormat)
+		if b.Revision != "" {
+			fmt.Printf(" rev %s", b.Revision)
+			if b.Modified {
+				fmt.Print(" (modified)")
+			}
+		}
+		fmt.Println()
+		return
+	}
+
 	// Span timing is always on: /metricz is part of the API, and the
-	// enabled-path cost is two clock reads per timed request.
+	// enabled-path cost is two clock reads per timed request. Runtime
+	// gauges and the window-rotation ticker keep /statusz and the burn
+	// rates current even when no requests arrive to drive lazy rotation.
 	obs.Enable()
+	obs.RegisterRuntimeMetrics()
+	stopRotation := obs.StartWindowRotation(obs.DefWindowBucket)
+	defer stopRotation()
 	if *progress {
 		stop := obs.StartProgress(os.Stderr, 2*time.Second)
 		defer stop()
@@ -103,6 +136,13 @@ func main() {
 		SearchTraceLen: *searchInsts,
 		ModelDir:       *modelsDir,
 		AccessLog:      accessW,
+
+		SLOLatency:      *sloLatency,
+		SLOAvailability: *sloAvail,
+		BurnThreshold:   *burnThreshold,
+		ShadowFraction:  *shadowFrac,
+		ShadowWorkers:   *shadowWorkers,
+		ShadowErrPct:    *shadowErr,
 	})
 	if *modelsDir != "" {
 		names, err := srv.Registry().LoadDir("")

@@ -29,6 +29,11 @@ type modelFile struct {
 
 const modelFormat = 1
 
+// ModelFormatVersion is the on-disk model format this build reads and
+// writes, exported so operational surfaces (predserve -version,
+// /healthz, /statusz) can report which model files the binary accepts.
+const ModelFormatVersion = modelFormat
+
 // Save serializes the model as JSON. The saved model reloads with
 // LoadModel and predicts identically; the regression tree is not
 // preserved, and the normalized training points are re-derived from the

@@ -353,6 +353,7 @@ func Reset() {
 	}
 	registry.spans = map[string]*spanStats{}
 	registry.start = time.Now()
+	resetWindows()
 }
 
 // Counters returns a snapshot of every registered counter, including

@@ -127,8 +127,93 @@ func WritePrometheus(w io.Writer) error {
 			pn, pn, promFloat(time.Duration(s.maxNs.Load()).Seconds()))
 	}
 
+	writePromWindows(&b)
+	writePromSLOs(&b)
+
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writePromWindows exports every registered sliding-window view as
+// gauges carrying a "window" label: counters get <name>_rate, histograms
+// get <name>_window_count/_window_rate/_window_p50/_window_p90/
+// _window_p99 (quantiles omitted for empty windows). The _window_ infix
+// keeps the series disjoint from the histogram's own cumulative
+// _bucket/_sum/_count family.
+func writePromWindows(b *strings.Builder) {
+	for _, v := range windowViews() {
+		switch w := v.(type) {
+		case *WindowedCounter:
+			name := promName(w.name)
+			fmt.Fprintf(b, "# TYPE %s_rate gauge\n", name)
+			for _, d := range DefWindows {
+				fmt.Fprintf(b, "%s_rate%s %s\n", name,
+					promLabels(w.labels, Label{Key: "window", Value: WindowLabel(d)}),
+					promFloat(w.RateOver(d)))
+			}
+		case *WindowedHistogram:
+			name := promName(w.name)
+			type row struct {
+				label Label
+				st    WindowStats
+			}
+			rows := make([]row, 0, len(DefWindows))
+			for _, d := range DefWindows {
+				rows = append(rows, row{Label{Key: "window", Value: WindowLabel(d)}, w.StatsOver(d)})
+			}
+			fmt.Fprintf(b, "# TYPE %s_window_count gauge\n", name)
+			for _, r := range rows {
+				fmt.Fprintf(b, "%s_window_count%s %d\n", name, promLabels(w.labels, r.label), r.st.Count)
+			}
+			fmt.Fprintf(b, "# TYPE %s_window_rate gauge\n", name)
+			for _, r := range rows {
+				fmt.Fprintf(b, "%s_window_rate%s %s\n", name, promLabels(w.labels, r.label), promFloat(r.st.Rate))
+			}
+			for _, q := range []struct {
+				suffix string
+				get    func(WindowStats) float64
+			}{
+				{"p50", func(s WindowStats) float64 { return s.P50 }},
+				{"p90", func(s WindowStats) float64 { return s.P90 }},
+				{"p99", func(s WindowStats) float64 { return s.P99 }},
+			} {
+				fmt.Fprintf(b, "# TYPE %s_window_%s gauge\n", name, q.suffix)
+				for _, r := range rows {
+					if r.st.Count == 0 {
+						continue
+					}
+					fmt.Fprintf(b, "%s_window_%s%s %s\n", name, q.suffix,
+						promLabels(w.labels, r.label), promFloat(q.get(r.st)))
+				}
+			}
+		}
+	}
+}
+
+// writePromSLOs exports every registered SLO's burn rates and firing
+// state as gauges labeled by SLO name (and window, for burn rates).
+func writePromSLOs(b *strings.Builder) {
+	states := SLOStates()
+	if len(states) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# TYPE slo_burn_rate gauge\n")
+	for _, st := range states {
+		for _, bw := range []BurnWindow{st.Fast, st.Slow} {
+			fmt.Fprintf(b, "slo_burn_rate%s %s\n",
+				promLabels([]Label{{Key: "slo", Value: st.Name}, {Key: "window", Value: bw.Window}}),
+				promFloat(bw.BurnRate))
+		}
+	}
+	fmt.Fprintf(b, "# TYPE slo_firing gauge\n")
+	for _, st := range states {
+		v := 0
+		if st.Firing {
+			v = 1
+		}
+		fmt.Fprintf(b, "slo_firing%s %d\n",
+			promLabels([]Label{{Key: "slo", Value: st.Name}}), v)
+	}
 }
 
 func writePromCounter(b *strings.Builder, name string, children []*Counter) {

@@ -55,11 +55,19 @@ type Report struct {
 	Counters   map[string]int64      `json:"counters"`
 	Gauges     map[string]float64    `json:"gauges,omitempty"`
 	Histograms map[string]HistStats  `json:"histograms,omitempty"`
-	Meta       map[string]string     `json:"meta,omitempty"`
+	// Windows (format >= 2) summarizes every registered sliding-window
+	// view: metric display name → window label ("1m", "5m", "1h") →
+	// stats.
+	Windows map[string]map[string]WindowStats `json:"windows,omitempty"`
+	// SLOs (format >= 2) carries the evaluated state of every registered
+	// SLO.
+	SLOs []SLOState        `json:"slos,omitempty"`
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
-// reportFormat versions the report schema.
-const reportFormat = 1
+// reportFormat versions the report schema. Format 2 added Windows and
+// SLOs; format-1 reports (which simply lack both) still decode.
+const reportFormat = 2
 
 // Snapshot captures the current observability state as a report. The
 // caller may fill Meta before writing it out. Callback gauges are
@@ -103,6 +111,8 @@ func Snapshot() *Report {
 		}
 		rep.Histograms[h.displayName()] = histStats(h)
 	}
+	rep.Windows = WindowSnapshot()
+	rep.SLOs = SLOStates()
 	return rep
 }
 
@@ -131,14 +141,15 @@ func (r *Report) Write(w io.Writer) error {
 }
 
 // ReadReport parses a report written by Write, rejecting unknown
-// schema versions.
+// schema versions. Every format up to the current one is accepted:
+// format 1 predates Windows and SLOs, which simply stay empty.
 func ReadReport(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("obs: reading report: %w", err)
 	}
-	if rep.Format != reportFormat {
-		return nil, fmt.Errorf("obs: unsupported report format %d", rep.Format)
+	if rep.Format < 1 || rep.Format > reportFormat {
+		return nil, fmt.Errorf("obs: unsupported report format %d (this build reads formats 1 through %d)", rep.Format, reportFormat)
 	}
 	return &rep, nil
 }

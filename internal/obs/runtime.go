@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches one runtime.ReadMemStats result briefly, so the four
+// memory gauges below cost one stop-the-world read per scrape rather
+// than four.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > time.Second {
+		runtime.ReadMemStats(&m.stat)
+		m.at = now
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics exports process-level health as callback
+// gauges, read at scrape time:
+//
+//	runtime.goroutines             live goroutine count
+//	runtime.heap_alloc_bytes       bytes of allocated heap objects
+//	runtime.heap_sys_bytes         heap memory obtained from the OS
+//	runtime.gc_pause_total_seconds cumulative stop-the-world pause time
+//	runtime.gc_count               completed GC cycles
+//
+// Safe to call more than once (gauge re-registration is latest-wins).
+// predserve and the predperf -report path call it so /metricz and run
+// reports carry process health alongside pipeline metrics.
+func RegisterRuntimeMetrics() {
+	mem := &memReader{}
+	NewGaugeFunc("runtime.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	NewGaugeFunc("runtime.heap_alloc_bytes", func() float64 {
+		return float64(mem.read().HeapAlloc)
+	})
+	NewGaugeFunc("runtime.heap_sys_bytes", func() float64 {
+		return float64(mem.read().HeapSys)
+	})
+	NewGaugeFunc("runtime.gc_pause_total_seconds", func() float64 {
+		return time.Duration(mem.read().PauseTotalNs).Seconds()
+	})
+	NewGaugeFunc("runtime.gc_count", func() float64 {
+		return float64(mem.read().NumGC)
+	})
+}

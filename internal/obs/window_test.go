@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual time source for deterministic
+// window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	// A fixed instant aligned to a bucket boundary, so advances land
+	// exactly where the test expects.
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestWindowedCounterExactCounts(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_counter")
+	w := WindowCounter(c, clk.now)
+	w.Tick() // establish the baseline at t0
+
+	// A known pattern: 6 events in the first bucket, 4 in the second,
+	// then silence.
+	c.Add(6)
+	if got := w.CountOver(time.Minute); got != 6 {
+		t.Fatalf("CountOver(1m) = %d, want 6 (live bucket)", got)
+	}
+	clk.advance(DefWindowBucket)
+	w.Tick()
+	c.Add(4)
+	if got := w.CountOver(time.Minute); got != 10 {
+		t.Fatalf("CountOver(1m) = %d, want 10", got)
+	}
+	if got, want := w.RateOver(time.Minute), 10.0/60; got != want {
+		t.Fatalf("RateOver(1m) = %v, want %v", got, want)
+	}
+
+	// Advance to 60s past t0: the 1m window still spans both buckets
+	// (the reference snapshot is the one taken at t0).
+	clk.advance(50 * time.Second)
+	w.Tick()
+	if got := w.CountOver(time.Minute); got != 10 {
+		t.Fatalf("CountOver(1m) at +60s = %d, want 10", got)
+	}
+	// One more bucket: the 6 events from the first bucket age out.
+	clk.advance(DefWindowBucket)
+	w.Tick()
+	if got := w.CountOver(time.Minute); got != 4 {
+		t.Fatalf("CountOver(1m) at +70s = %d, want 4 (first bucket expired)", got)
+	}
+	// After a full window of silence everything has aged out, while the
+	// longer windows still see all 10.
+	clk.advance(time.Minute)
+	w.Tick()
+	if got := w.CountOver(time.Minute); got != 0 {
+		t.Fatalf("CountOver(1m) after expiry = %d, want 0", got)
+	}
+	if got := w.CountOver(5 * time.Minute); got != 10 {
+		t.Fatalf("CountOver(5m) = %d, want 10", got)
+	}
+	if got := w.CountOver(time.Hour); got != 10 {
+		t.Fatalf("CountOver(1h) = %d, want 10", got)
+	}
+}
+
+func TestWindowedCounterSeries(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_series")
+	w := WindowCounter(c, clk.now)
+	w.Tick()
+
+	c.Add(3)
+	clk.advance(DefWindowBucket)
+	w.Tick()
+	// No events in the second bucket.
+	clk.advance(DefWindowBucket)
+	w.Tick()
+	c.Add(2) // live partial bucket
+	got := w.Series(2 * DefWindowBucket)
+	want := []float64{3, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Series = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowedCounterClockBackwardsRebases(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_back")
+	w := WindowCounter(c, clk.now)
+	w.Tick()
+	c.Add(7)
+	clk.advance(2 * DefWindowBucket)
+	w.Tick()
+	if got := w.CountOver(time.Minute); got != 7 {
+		t.Fatalf("CountOver = %d, want 7", got)
+	}
+	// The clock jumps backwards (NTP step): history is untrustworthy, so
+	// the ring re-bases and windows read zero until new events arrive.
+	clk.advance(-time.Minute)
+	if got := w.CountOver(time.Minute); got != 0 {
+		t.Fatalf("CountOver after backwards clock = %d, want 0 (rebase)", got)
+	}
+	c.Add(2)
+	if got := w.CountOver(time.Minute); got != 2 {
+		t.Fatalf("CountOver after rebase+adds = %d, want 2", got)
+	}
+}
+
+func TestWindowedCounterFarJumpRebases(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_jump")
+	w := WindowCounter(c, clk.now)
+	w.Tick()
+	c.Add(5)
+	// A jump past the whole ring (> 1h) makes every slot stale; the ring
+	// re-bases rather than spinning through thousands of rotations.
+	clk.advance(2 * time.Hour)
+	if got := w.CountOver(time.Hour); got != 0 {
+		t.Fatalf("CountOver(1h) after far jump = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramStatsAndQuantiles(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	h := NewHistogram("test.win_hist", ExponentialBuckets(0.001, 2, 10))
+	w := WindowHistogram(h, clk.now)
+	w.Tick()
+
+	// Ten observations inside the (0.001, 0.002] bucket: interpolation
+	// makes the quantiles exactly computable.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.0015)
+	}
+	st := w.StatsOver(time.Minute)
+	if st.Count != 10 {
+		t.Fatalf("Count = %d, want 10", st.Count)
+	}
+	if want := 10.0 / 60; st.Rate != want {
+		t.Fatalf("Rate = %v, want %v", st.Rate, want)
+	}
+	if math.Abs(st.Mean-0.0015) > 1e-12 {
+		t.Fatalf("Mean = %v, want 0.0015", st.Mean)
+	}
+	// All mass in one bucket [0.001, 0.002]: pX = 0.001 + 0.001·X.
+	if want := 0.0015; math.Abs(st.P50-want) > 1e-12 {
+		t.Fatalf("P50 = %v, want %v", st.P50, want)
+	}
+	if want := 0.0019; math.Abs(st.P90-want) > 1e-12 {
+		t.Fatalf("P90 = %v, want %v", st.P90, want)
+	}
+
+	// Quantiles must always land inside the observed bucket's bounds.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		v := w.QuantileOver(time.Minute, q)
+		if v < 0.001 || v > 0.002 {
+			t.Fatalf("QuantileOver(%v) = %v outside the observed bucket [0.001, 0.002]", q, v)
+		}
+	}
+
+	// After the observations age past 1m the window empties: zeroed
+	// stats, NaN quantile.
+	clk.advance(time.Minute + DefWindowBucket)
+	w.Tick()
+	st = w.StatsOver(time.Minute)
+	if st.Count != 0 || st.Mean != 0 || st.P50 != 0 {
+		t.Fatalf("expired window stats = %+v, want zeros", st)
+	}
+	if !math.IsNaN(w.QuantileOver(time.Minute, 0.5)) {
+		t.Fatal("QuantileOver on an empty window should be NaN")
+	}
+	// The hour window still sees them.
+	if got := w.CountOver(time.Hour); got != 10 {
+		t.Fatalf("CountOver(1h) = %d, want 10", got)
+	}
+}
+
+func TestWindowedHistogramGoodOver(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	h := NewHistogram("test.win_good", []float64{0.1, 0.2, 0.4})
+	w := WindowHistogram(h, clk.now)
+	w.Tick()
+	for _, v := range []float64{0.05, 0.15, 0.3, 1.0} {
+		h.Observe(v)
+	}
+	// Threshold exactly on a bucket bound counts that bucket as good.
+	if good, total := w.GoodOver(time.Minute, 0.2); good != 2 || total != 4 {
+		t.Fatalf("GoodOver(0.2) = %d/%d, want 2/4", good, total)
+	}
+	// A threshold between bounds rounds down: the straddling bucket is bad.
+	if good, total := w.GoodOver(time.Minute, 0.3); good != 2 || total != 4 {
+		t.Fatalf("GoodOver(0.3) = %d/%d, want 2/4 (bucket-quantized)", good, total)
+	}
+	if good, _ := w.GoodOver(time.Minute, 0.4); good != 3 {
+		t.Fatalf("GoodOver(0.4) = %d, want 3 (overflow observation is bad)", good)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	cases := map[time.Duration]string{
+		time.Minute:      "1m",
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		30 * time.Second: "30s",
+		2 * time.Hour:    "2h",
+	}
+	for d, want := range cases {
+		if got := WindowLabel(d); got != want {
+			t.Errorf("WindowLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestWindowConcurrentStorm races adds, rotation ticks, and reads; under
+// -race this proves the window layer composes with the lock-free metric
+// hot path.
+func TestWindowConcurrentStorm(t *testing.T) {
+	Reset()
+	c := NewCounter("test.win_storm")
+	h := NewHistogram("test.win_storm_h", DefLatencyBuckets)
+	wc := WindowCounter(c, nil) // real clock
+	wh := WindowHistogram(h, nil)
+	// Baseline before any events, so nothing lands below the first
+	// snapshot.
+	wc.Tick()
+	wh.Tick()
+
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				if i%50 == 0 {
+					TickWindows()
+					wc.Stats(time.Minute)
+					wh.StatsOver(time.Minute)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Everything happened inside one bucket of real time.
+	if got := wc.CountOver(time.Hour); got != workers*per {
+		t.Fatalf("CountOver(1h) = %d, want %d", got, workers*per)
+	}
+	if got := wh.CountOver(time.Hour); got != workers*per {
+		t.Fatalf("histogram CountOver(1h) = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWindowSnapshotAndReset(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_snap")
+	w := WindowCounter(c, clk.now)
+	w.Tick()
+	c.Add(3)
+	snap := WindowSnapshot()
+	m, ok := snap["test.win_snap"]
+	if !ok {
+		t.Fatalf("WindowSnapshot missing the view: %v", snap)
+	}
+	for _, label := range []string{"1m", "5m", "1h"} {
+		if m[label].Count != 3 {
+			t.Fatalf("window %q count = %d, want 3", label, m[label].Count)
+		}
+	}
+	// Reset clears ring history along with the metrics beneath.
+	Reset()
+	if got := w.CountOver(time.Hour); got != 0 {
+		t.Fatalf("CountOver after Reset = %d, want 0", got)
+	}
+}
+
+func TestPromExposesWindows(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	c := NewCounter("test.win_prom")
+	h := NewHistogram("test.win_prom_h", DefLatencyBuckets)
+	WindowCounter(c, clk.now).Tick()
+	WindowHistogram(h, clk.now).Tick()
+	c.Add(2)
+	h.Observe(0.001)
+
+	var b strings.Builder
+	WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_win_prom_rate{window="1m"}`,
+		`test_win_prom_h_window_count{window="5m"}`,
+		`test_win_prom_h_window_p99{window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestReadReportFormat1 proves reports written before the windows/SLO
+// extension still decode: the new fields just stay empty.
+func TestReadReportFormat1(t *testing.T) {
+	old := `{"format":1,"host":{"cpus":4},"started":"2026-01-01T00:00:00Z","wall_sec":1,"stages":{},"counters":{"x":3}}`
+	rep, err := ReadReport(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("format-1 report rejected: %v", err)
+	}
+	if rep.Counters["x"] != 3 {
+		t.Fatalf("counters lost in decode: %+v", rep)
+	}
+	if rep.Windows != nil || rep.SLOs != nil {
+		t.Fatalf("format-1 report grew windows/SLOs: %+v", rep)
+	}
+}

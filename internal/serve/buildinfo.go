@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"predperf/internal/core"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain it was
+// built with, the VCS revision baked in by `go build` (empty for
+// non-VCS builds like `go run` from a tarball), and the model-format
+// version this build reads — the operational answer to "which predserve
+// is this and which model files can it load".
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Revision    string `json:"revision,omitempty"`
+	Modified    bool   `json:"modified,omitempty"` // working tree was dirty at build time
+	ModelFormat int    `json:"model_format"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build info, reading runtime/debug build
+// settings once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			GoVersion:   runtime.Version(),
+			ModelFormat: core.ModelFormatVersion,
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					buildInfo.Revision = s.Value
+				case "vcs.modified":
+					buildInfo.Modified = s.Value == "true"
+				}
+			}
+		}
+	})
+	return buildInfo
+}

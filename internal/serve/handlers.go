@@ -125,6 +125,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"models": s.reg.Len(),
+		"build":  Build(),
 	})
 }
 
@@ -339,11 +340,15 @@ func (s *Server) predictOne(e *Entry, cfg design.Config) prediction {
 	if v, ok := s.cache.Get(key); ok {
 		cCacheHits.Inc()
 		p.Value, p.Cached = v, true
-		return p
+	} else {
+		cCacheMiss.Inc()
+		p.Value = m.PredictConfig(q)
+		s.cache.Put(key, p.Value)
 	}
-	cCacheMiss.Inc()
-	p.Value = m.PredictConfig(q)
-	s.cache.Put(key, p.Value)
+	// Shadow monitoring happens after the value is final and never
+	// touches p: the served response is byte-identical with sampling on
+	// or off.
+	s.shadow.offer(e, q, p.Value)
 	return p
 }
 

@@ -19,16 +19,37 @@ var (
 	hRequests  = obs.NewHistogramVec("serve.http_request_seconds", obs.DefLatencyBuckets, "route")
 	cResponses = obs.NewCounterVec("serve.http_responses", "route", "code")
 	gInflight  = obs.NewGauge("serve.inflight_requests")
+
+	// Route-agnostic aggregates backing the SLOs: one latency histogram
+	// over every request, a total-response counter, and a 5xx counter.
+	// Their sliding-window views (Server.wLatency and friends) feed the
+	// latency and availability burn rates.
+	hAllRequests   = obs.NewHistogram("serve.request_seconds", obs.DefLatencyBuckets)
+	cRequestsTotal = obs.NewCounter("serve.requests_total")
+	cResponses5xx  = obs.NewCounter("serve.responses_5xx")
 )
 
 // routes is the fixed label set for per-route metrics.
 var routes = map[string]bool{
 	"/healthz":        true,
+	"/readyz":         true,
+	"/alertz":         true,
+	"/statusz":        true,
 	"/metricz":        true,
 	"/v1/models":      true,
 	"/v1/models/load": true,
 	"/v1/predict":     true,
 	"/v1/search":      true,
+}
+
+// sloExempt marks the readiness/ops surface, which is excluded from the
+// SLO aggregates: a /readyz 503 is readiness signal, not a served-traffic
+// failure. Counting it would let an unready server burn its own
+// availability budget with every probe and never report ready again.
+var sloExempt = map[string]bool{
+	"/readyz":  true,
+	"/alertz":  true,
+	"/statusz": true,
 }
 
 // routeLabel normalizes a request path to a bounded label value.
@@ -131,6 +152,13 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		d := time.Since(t0)
 		route := routeLabel(r.URL.Path)
 		hRequests.With(route).Observe(d.Seconds())
+		if !sloExempt[route] {
+			hAllRequests.Observe(d.Seconds())
+			cRequestsTotal.Inc()
+			if sw.status >= 500 {
+				cResponses5xx.Inc()
+			}
+		}
 		cResponses.With(route, strconv.Itoa(sw.status)).Inc()
 		s.access.log(accessEntry{
 			Time:      t0.UTC().Format("2006-01-02T15:04:05.000Z07:00"),

@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -76,6 +77,38 @@ type Options struct {
 	// AccessLog receives one JSON line per completed request (nil
 	// disables access logging). Writes are serialized by the server.
 	AccessLog io.Writer
+	// Clock injects a time source for windowed metrics, SLO burn rates,
+	// alert timestamps, and shadow drift windows (default time.Now).
+	// Tests drive a fake clock through it.
+	Clock obs.Clock
+	// SLOLatency is the latency objective: a request is "good" when it
+	// completes within this duration (default 250ms). Align it with a
+	// histogram bucket bound for exact accounting.
+	SLOLatency time.Duration
+	// SLOAvailability is the target good fraction for both SLOs
+	// (default 0.999).
+	SLOAvailability float64
+	// BurnThreshold is the burn rate above which an SLO trips /readyz
+	// (default obs.DefBurnThreshold, 14.4).
+	BurnThreshold float64
+	// ShadowFraction is the fraction of served predictions re-checked on
+	// the cycle-level simulator (0 disables shadow monitoring, 1 checks
+	// everything). Sampling is a deterministic hash of the (model,
+	// quantized config) pair.
+	ShadowFraction float64
+	// ShadowWorkers bounds the background simulation worker pool
+	// (default 1).
+	ShadowWorkers int
+	// ShadowQueue bounds the pending shadow-sample queue; a full queue
+	// drops samples instead of blocking the predict path (default 1024).
+	ShadowQueue int
+	// ShadowErrPct is the windowed mean percent error above which a
+	// model counts as drifting (default 25; negative keeps the error
+	// histograms but never trips readiness).
+	ShadowErrPct float64
+	// ShadowMinSamples is how many windowed shadow samples a model needs
+	// before drift can fire (default 10).
+	ShadowMinSamples int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +130,30 @@ func (o Options) withDefaults() Options {
 	if o.SearchTraceLen <= 0 {
 		o.SearchTraceLen = 50_000
 	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.SLOLatency <= 0 {
+		o.SLOLatency = 250 * time.Millisecond
+	}
+	if o.SLOAvailability <= 0 || o.SLOAvailability >= 1 {
+		o.SLOAvailability = 0.999
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = obs.DefBurnThreshold
+	}
+	if o.ShadowWorkers <= 0 {
+		o.ShadowWorkers = 1
+	}
+	if o.ShadowQueue <= 0 {
+		o.ShadowQueue = 1024
+	}
+	if o.ShadowErrPct == 0 {
+		o.ShadowErrPct = 25
+	}
+	if o.ShadowMinSamples <= 0 {
+		o.ShadowMinSamples = 10
+	}
 	return o
 }
 
@@ -107,6 +164,19 @@ type Server struct {
 	cache  *lru
 	access *accessLog
 	http   *http.Server
+
+	// Time-aware observability: the clock every window/SLO/alert runs
+	// on, sliding-window views over the request metrics, the declared
+	// SLOs, the alert log, and the shadow drift monitor.
+	clock    obs.Clock
+	start    time.Time
+	wLatency *obs.WindowedHistogram
+	wTotal   *obs.WindowedCounter
+	w5xx     *obs.WindowedCounter
+	wRoutes  map[string]*obs.WindowedHistogram
+	slos     []*obs.SLO
+	alerts   *obs.AlertSet
+	shadow   *shadowMonitor
 }
 
 // New builds a Server with an empty registry. Load models through
@@ -122,10 +192,46 @@ func New(opt Options) *Server {
 		reg:    NewRegistry(opt.ModelDir),
 		cache:  newLRU(opt.CacheSize),
 		access: newAccessLog(opt.AccessLog),
+		clock:  opt.Clock,
 	}
+	s.start = s.clock()
 	obs.NewGaugeFunc("serve.cache_entries", func() float64 { return float64(s.cache.Len()) })
 	obs.NewGaugeFunc("serve.cache_capacity", func() float64 { return float64(s.cache.Cap()) })
 	obs.NewGaugeFunc("serve.registry_models", func() float64 { return float64(s.reg.Len()) })
+
+	// Sliding-window views over the request metrics (latest-wins, like
+	// the gauges above: the most recent Server owns the clock), plus
+	// per-route views for the /statusz latency tables.
+	s.wLatency = obs.WindowHistogram(hAllRequests, s.clock)
+	s.wTotal = obs.WindowCounter(cRequestsTotal, s.clock)
+	s.w5xx = obs.WindowCounter(cResponses5xx, s.clock)
+	s.wRoutes = map[string]*obs.WindowedHistogram{}
+	for route := range routes {
+		s.wRoutes[route] = obs.WindowHistogramIn(hRequests, s.clock, route)
+	}
+	s.wRoutes["other"] = obs.WindowHistogramIn(hRequests, s.clock, "other")
+
+	// The two declared SLOs, Google SRE multi-window burn style. Both
+	// are registered globally so run reports carry their states.
+	s.slos = []*obs.SLO{
+		obs.RegisterSLO(&obs.SLO{
+			Name:        "latency",
+			Description: fmt.Sprintf("%.4g%% of requests complete within %s", opt.SLOAvailability*100, opt.SLOLatency),
+			Objective:   opt.SLOAvailability,
+			Threshold:   opt.BurnThreshold,
+			SLI:         obs.LatencySLI(s.wLatency, opt.SLOLatency.Seconds()),
+		}),
+		obs.RegisterSLO(&obs.SLO{
+			Name:        "availability",
+			Description: fmt.Sprintf("%.4g%% of responses are non-5xx", opt.SLOAvailability*100),
+			Objective:   opt.SLOAvailability,
+			Threshold:   opt.BurnThreshold,
+			SLI:         obs.AvailabilitySLI(s.w5xx, s.wTotal),
+		}),
+	}
+	s.alerts = obs.NewAlertSet(s.clock)
+	s.shadow = newShadowMonitor(opt, s.clock)
+
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -146,6 +252,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/alertz", s.handleAlertz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/models/load", s.handleModelsLoad)
@@ -187,9 +296,12 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains in-flight requests, waiting at most deadline before
-// giving up on stragglers. New connections are refused immediately.
+// giving up on stragglers, then stops the shadow workers (which finish
+// their in-flight simulations). New connections are refused immediately.
 func (s *Server) Shutdown(deadline time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
-	return s.http.Shutdown(ctx)
+	err := s.http.Shutdown(ctx)
+	s.shadow.stop()
+	return err
 }

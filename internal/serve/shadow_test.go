@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+)
+
+// TestShadowSamplingDeterministic: the sampling decision is a pure
+// function of (model, quantized config) — stable across calls and across
+// monitor instances, so a sampled point can be replayed offline.
+func TestShadowSamplingDeterministic(t *testing.T) {
+	m := buildTestModel(t, "det")
+	opt := Options{ShadowFraction: 0.5}.withDefaults()
+	a := newShadowMonitor(opt, nil)
+	b := newShadowMonitor(opt, nil)
+	defer a.stop()
+	defer b.stop()
+
+	sampled := 0
+	for _, cfg := range m.Configs {
+		da := a.sampled("det", cfg)
+		for i := 0; i < 3; i++ {
+			if a.sampled("det", cfg) != da {
+				t.Fatal("sampling decision changed between calls")
+			}
+		}
+		if b.sampled("det", cfg) != da {
+			t.Fatal("sampling decision differs between monitor instances")
+		}
+		if da {
+			sampled++
+		}
+	}
+	if sampled == 0 || sampled == len(m.Configs) {
+		t.Fatalf("frac 0.5 sampled %d/%d configs; hash looks degenerate", sampled, len(m.Configs))
+	}
+
+	// frac 1 samples everything; a disabled monitor samples nothing.
+	all := newShadowMonitor(Options{ShadowFraction: 1}.withDefaults(), nil)
+	defer all.stop()
+	off := newShadowMonitor(Options{ShadowFraction: 0}.withDefaults(), nil)
+	for _, cfg := range m.Configs {
+		if !all.sampled("det", cfg) {
+			t.Fatal("frac 1 skipped a config")
+		}
+		if off.sampled("det", cfg) {
+			t.Fatal("disabled monitor sampled a config")
+		}
+	}
+}
+
+// TestShadowResponsesBitIdentical is the serving half of the acceptance
+// criterion: with shadow sampling at 100% the served responses are
+// byte-for-byte what a no-shadow server returns.
+func TestShadowResponsesBitIdentical(t *testing.T) {
+	obs.Reset()
+	m := buildTestModel(t, "bitid")
+
+	run := func(frac float64) []byte {
+		s := New(Options{ShadowFraction: frac, ShadowWorkers: 1})
+		if err := s.Registry().Add("bitid", m, ""); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		var req struct {
+			Model   string       `json:"model"`
+			Configs []wireConfig `json:"configs"`
+		}
+		req.Model = "bitid"
+		for _, c := range m.Configs[:16] {
+			req.Configs = append(req.Configs, toWire(c))
+		}
+		js, _ := json.Marshal(req)
+		_, body := postJSON(t, ts.URL+"/v1/predict", string(js))
+		s.shadow.drain()
+		s.shadow.stop()
+		return body
+	}
+
+	with := run(1)
+	without := run(0)
+	if !bytes.Equal(with, without) {
+		t.Fatalf("responses differ with shadow sampling on:\n  with:    %s\n  without: %s", with, without)
+	}
+	// The synthetic model's name is not a simulator benchmark, so every
+	// shadow job fails at evaluator construction — counted, not fatal.
+	if obs.NewCounter("serve.shadow_sim_failures").Value() == 0 {
+		t.Fatal("expected shadow sim failures for a non-benchmark model name")
+	}
+}
+
+// TestShadowQueueDrops: a full queue drops samples rather than blocking
+// the predict path.
+func TestShadowQueueDrops(t *testing.T) {
+	obs.Reset()
+	m := buildTestModel(t, "drops")
+	// Queue of 1 and a worker pool that can't drain 16 sims instantly:
+	// the burst must overflow and the overflow must be counted.
+	opt := Options{ShadowFraction: 1, ShadowWorkers: 1, ShadowQueue: 1}.withDefaults()
+	mon := newShadowMonitor(opt, nil)
+	defer mon.stop()
+	e := &Entry{Name: "drops", Model: m}
+	for _, cfg := range m.Configs[:16] {
+		mon.offer(e, cfg, 1.0)
+	}
+	mon.drain()
+	dropped := obs.NewCounter("serve.shadow_dropped").Value()
+	if dropped == 0 {
+		t.Fatal("16 offers through a 1-slot queue dropped nothing")
+	}
+}
+
+// TestShadowErrorMatchesBuildTimeValidation is the acceptance criterion:
+// serve an on-grid batch with -shadow-frac 1.0 and the shadow monitor's
+// mean error must equal the build-time test-set error, because both run
+// the identical simulator evaluator path on identical configs.
+func TestShadowErrorMatchesBuildTimeValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a simulator-backed model")
+	}
+	obs.Reset()
+	const traceLen = 6000
+	ev, err := core.NewSimEvaluator("twolf", traceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildRBFModel(ev, 24, core.Options{LHSCandidates: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = "twolf" // the registry resolves the shadow evaluator by benchmark name
+
+	// Draw random test points, then quantize each through the exact
+	// Decode∘Encode projection the serve path applies, so the served
+	// config is the config validated here and the shadow path
+	// re-simulates exactly these points.
+	raw := core.NewTestSet(ev, m.Space, 10, 5)
+	ts := &core.TestSet{
+		Configs: make([]design.Config, len(raw.Configs)),
+		Actual:  make([]float64, len(raw.Configs)),
+	}
+	for i, c := range raw.Configs {
+		q := m.Space.Decode(m.Space.Encode(c), m.SampleSize)
+		ts.Configs[i] = q
+		ts.Actual[i] = ev.Eval(q)
+	}
+	want := m.Validate(ts)
+	if want.N != len(ts.Configs) {
+		t.Fatalf("test set dropped points: %+v", want)
+	}
+
+	clk := newFakeClock()
+	s := New(Options{
+		ShadowFraction: 1,
+		ShadowWorkers:  1,
+		SearchTraceLen: traceLen, // shadow evaluator: same benchmark, same trace length
+		Clock:          clk.now,
+		ShadowErrPct:   -1, // never trip readiness in this test
+	})
+	if err := s.Registry().Add("twolf", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(s.Handler())
+	defer hts.Close()
+
+	var req struct {
+		Model   string       `json:"model"`
+		Configs []wireConfig `json:"configs"`
+	}
+	req.Model = "twolf"
+	for _, c := range ts.Configs {
+		req.Configs = append(req.Configs, toWire(c))
+	}
+	js, _ := json.Marshal(req)
+	_, body := postJSON(t, hts.URL+"/v1/predict", string(js))
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	for i, p := range pr.Predictions {
+		if wantV := m.PredictConfig(ts.Configs[i]); p.Value != wantV {
+			t.Fatalf("served prediction %d = %v, want bit-identical %v", i, p.Value, wantV)
+		}
+	}
+	s.shadow.drain()
+
+	st, ok := s.shadow.modelStats("twolf")
+	if !ok {
+		t.Fatal("no shadow stats after a frac-1.0 batch")
+	}
+	n := st.hist.Count()
+	if n != int64(len(ts.Configs)) {
+		t.Fatalf("shadow processed %d samples, want %d", n, len(ts.Configs))
+	}
+	// The histogram's mean is the mean of the same per-point errors
+	// errorStats averaged at build time; only float summation order
+	// differs.
+	gotMean := st.hist.Sum() / float64(n)
+	if math.Abs(gotMean-want.Mean) > 1e-9*math.Max(1, want.Mean) {
+		t.Fatalf("shadow mean error %.12f%%, want build-time test-set error %.12f%%", gotMean, want.Mean)
+	}
+
+	// The windowed drift view saw every sample too.
+	ds := s.shadow.driftStates()
+	if len(ds) != 1 || ds[0].Samples != n || ds[0].Firing {
+		t.Fatalf("drift states = %+v", ds)
+	}
+	if math.Abs(ds[0].MeanPct-gotMean) > 1e-9 {
+		t.Fatalf("windowed mean %.12f != cumulative mean %.12f", ds[0].MeanPct, gotMean)
+	}
+}
+
+// TestShadowDriftTripsReadyz: a model whose shadow error exceeds the
+// configured threshold flips /readyz to 503 with a model_drift reason.
+func TestShadowDriftTripsReadyz(t *testing.T) {
+	obs.Reset()
+	clk := newFakeClock()
+	s := New(Options{
+		ShadowFraction:   1,
+		ShadowWorkers:    1,
+		Clock:            clk.now,
+		ShadowErrPct:     5,
+		ShadowMinSamples: 3,
+	})
+	m := buildTestModel(t, "drifty")
+	if err := s.Registry().Add("drifty", m, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Inject drift directly at the accounting layer: the monitor's error
+	// histogram is what driftStates reads, and feeding it here keeps the
+	// test independent of simulator availability.
+	st := s.shadow.stats("drifty")
+	for i := 0; i < 4; i++ {
+		st.hist.Observe(40) // 40% error, well past the 5% threshold
+	}
+
+	hts := httptest.NewServer(s.Handler())
+	defer hts.Close()
+	resp, body := getBody(t, hts.URL+"/readyz")
+	if resp.StatusCode != 503 || !bytes.Contains([]byte(body), []byte("model_drift")) {
+		t.Fatalf("drifting model: status %d body %s, want 503 model_drift", resp.StatusCode, body)
+	}
+
+	// Drift heals once the bad samples age out of the 1h window.
+	clk.advance(obs.DefSlowWindow + obs.DefWindowBucket)
+	obs.TickWindows()
+	resp, body = getBody(t, hts.URL+"/readyz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("after samples aged out: status %d body %s, want 200", resp.StatusCode, body)
+	}
+}

@@ -43,7 +43,15 @@ grep -q '"traceEvents"' "$smoke_dir/build-trace.json"
 grep -q '"name": "core.build_rbf"' "$smoke_dir/build-trace.json"
 grep -q '"name": "core.sim_point"' "$smoke_dir/build-trace.json"
 go build -o "$smoke_dir/predserve" ./cmd/predserve
-"$smoke_dir/predserve" -addr 127.0.0.1:0 -model "$smoke_dir/mcf.json" \
+# -version prints build info without serving.
+"$smoke_dir/predserve" -version | grep -q 'model-format'
+# Start with an EMPTY model directory so /readyz goes through its full
+# lifecycle, and shadow-verify 100% of served predictions on the
+# simulator (same trace length the model was built with).
+mkdir "$smoke_dir/models"
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models" \
+    -shadow-frac 1.0 -shadow-workers 1 -search-insts 2000 \
+    -slo-latency 250ms -slo-availability 0.999 \
     > "$smoke_dir/predserve.log" 2>&1 &
 smoke_pid=$!
 addr=""
@@ -58,14 +66,57 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"'
+# /healthz carries build info.
+curl -fsS "http://$addr/healthz" | grep -q '"go_version"'
 # Every response carries an X-Request-Id (generated here; echoed if sent).
 curl -fsS -D - -o /dev/null "http://$addr/healthz" | grep -qi '^x-request-id:'
+# Empty registry: alive but not ready, with a structured reason.
+code=$(curl -s -o "$smoke_dir/readyz.json" -w '%{http_code}' "http://$addr/readyz")
+if [ "$code" != 503 ]; then
+    echo "readyz before load returned $code, want 503" >&2
+    exit 1
+fi
+grep -q '"no_models"' "$smoke_dir/readyz.json"
+# Hot-load the model, after which the server must report ready.
+cp "$smoke_dir/mcf.json" "$smoke_dir/models/mcf.json"
+curl -fsS -X POST "http://$addr/v1/models/load" -d '{"path":"mcf.json"}' \
+    | grep -q '"mcf"'
+curl -fsS "http://$addr/readyz" | grep -q '"ready"'
 curl -fsS -X POST "http://$addr/v1/predict" \
     -d '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}' \
     | grep -q '"value"'
-# Prometheus exposition must include at least one latency histogram series.
-curl -fsS "http://$addr/metricz?format=prom" | grep -q '_bucket{'
-curl -fsS "http://$addr/metricz?format=prom" | grep -q '^serve_http_request_seconds_count'
+# Prometheus exposition must include at least one latency histogram series
+# plus the windowed-rate gauges. Fetch once to a file: grep -q on a pipe
+# closes it mid-body and set -o pipefail turns curl's EPIPE into a failure.
+curl -fsS "http://$addr/metricz?format=prom" > "$smoke_dir/metricz.prom"
+grep -q '_bucket{' "$smoke_dir/metricz.prom"
+grep -q '^serve_http_request_seconds_count' "$smoke_dir/metricz.prom"
+grep -q 'window="5m"' "$smoke_dir/metricz.prom"
+grep -q '^slo_burn_rate' "$smoke_dir/metricz.prom"
+# With -shadow-frac 1.0 the served prediction is re-simulated in the
+# background; wait for its error to land in the per-model histogram.
+shadow_ok=""
+for _ in $(seq 1 50); do
+    curl -fsS "http://$addr/metricz?format=prom" > "$smoke_dir/metricz.prom"
+    if grep -q 'serve_shadow_error_pct_bucket{model="mcf"' "$smoke_dir/metricz.prom"; then
+        shadow_ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$shadow_ok" ]; then
+    echo "shadow error histogram never appeared in /metricz?format=prom" >&2
+    exit 1
+fi
+# /statusz is a self-contained HTML dashboard with the model table.
+curl -fsS "http://$addr/statusz" > "$smoke_dir/statusz.html"
+grep -q '<!DOCTYPE html>' "$smoke_dir/statusz.html"
+grep -q 'predserve status' "$smoke_dir/statusz.html"
+grep -q 'mcf' "$smoke_dir/statusz.html"
+# /alertz lists alert history as JSON (the no_models alert fired and
+# resolved above).
+curl -fsS "http://$addr/alertz" | grep -q '"alerts"'
+curl -fsS "http://$addr/alertz" | grep -q '"no_models"'
 kill -TERM "$smoke_pid"
 wait "$smoke_pid"   # non-zero (unclean drain) fails the gate via set -e
 smoke_pid=""
