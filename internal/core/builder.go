@@ -82,6 +82,26 @@ func (m *Model) PredictConfig(cfg design.Config) float64 {
 	return m.Fit.Predict(m.Space.Encode(cfg))
 }
 
+// PredictBatch evaluates the model at every normalized point with one
+// compiled matrix pass (blocked design matrix × weight vector) instead
+// of a per-point walk over the RBF centers. Results are bit-identical
+// to calling Predict per point.
+func (m *Model) PredictBatch(pts []design.Point) []float64 {
+	return m.Fit.PredictBatch(asFloats(pts))
+}
+
+// PredictConfigs evaluates the model at every concrete configuration
+// through the same compiled batch path as PredictBatch; it is the
+// vectorized counterpart of per-config PredictConfig and bit-identical
+// to it.
+func (m *Model) PredictConfigs(cfgs []design.Config) []float64 {
+	xs := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		xs[i] = m.Space.Encode(c)
+	}
+	return m.Fit.PredictBatch(xs)
+}
+
 // sampleAndSimulate draws the space-filling sample (steps 2–3 of the
 // procedure) and obtains responses from the evaluator, optionally with
 // several workers. The stage spans attach to the trace in ctx when one

@@ -89,6 +89,10 @@ func LoadModel(r io.Reader) (*Model, error) {
 		}
 		net.Bases = append(net.Bases, rbf.Basis{Center: f.Centers[i], Radius: f.Radii[i]})
 	}
+	// Cache 1/r² per basis now, before the network is shared across
+	// serving goroutines: the prediction hot loop then multiplies
+	// instead of dividing, with bit-identical results.
+	net.Precompute()
 	m := &Model{
 		Name:       f.Name,
 		Space:      &design.Space{Params: f.Space},

@@ -110,12 +110,29 @@ type predictor interface {
 	Predict(pt []float64) float64
 }
 
+// batchPredictor is the optional fast path: models that can score a
+// whole batch in one vectorized pass (rbf.FitResult). Validation takes
+// it when present; per-point results must be bit-identical to Predict,
+// so the two routes are interchangeable.
+type batchPredictor interface {
+	PredictBatch(xs [][]float64) []float64
+}
+
 func validateOn(m predictor, space *design.Space, ts *TestSet) ErrorStats {
 	defer obs.StartSpan("core.validate")()
-	pred := make([]float64, len(ts.Configs))
-	par.For(par.Workers(0), len(ts.Configs), func(i int) {
-		pred[i] = m.Predict(space.Encode(ts.Configs[i]))
-	})
+	var pred []float64
+	if bp, ok := m.(batchPredictor); ok {
+		xs := make([][]float64, len(ts.Configs))
+		for i, c := range ts.Configs {
+			xs[i] = space.Encode(c)
+		}
+		pred = bp.PredictBatch(xs)
+	} else {
+		pred = make([]float64, len(ts.Configs))
+		par.For(par.Workers(0), len(ts.Configs), func(i int) {
+			pred[i] = m.Predict(space.Encode(ts.Configs[i]))
+		})
+	}
 	return errorStats(pred, ts.Actual)
 }
 

@@ -218,3 +218,71 @@ func TestDotAndNorm(t *testing.T) {
 		t.Fatal("Norm2 wrong")
 	}
 }
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := New(17, 23)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := m.MulVec(x)
+	got := make([]float64, 17)
+	m.MulVecTo(got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecTo[%d] = %x, MulVec = %x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecToPanicsOnBadShapes(t *testing.T) {
+	m := New(2, 3)
+	for _, f := range []func(){
+		func() { m.MulVecTo(make([]float64, 2), make([]float64, 4)) },
+		func() { m.MulVecTo(make([]float64, 3), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on shape mismatch")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestForEachBlockCoversExactlyOnce(t *testing.T) {
+	for _, c := range []struct{ rows, cols, br, bc int }{
+		{10, 10, 4, 4},
+		{64, 64, 64, 64},
+		{7, 13, 3, 5},
+		{1, 1, 4, 4},
+		{5, 9, 0, 2}, // non-positive block size disables tiling on that axis
+		{0, 8, 2, 2}, // empty index space: fn never called
+	} {
+		seen := make(map[[2]int]int)
+		ForEachBlock(c.rows, c.cols, c.br, c.bc, func(r0, r1, c0, c1 int) {
+			if r0 >= r1 || c0 >= c1 {
+				t.Fatalf("%+v: empty block [%d,%d)x[%d,%d)", c, r0, r1, c0, c1)
+			}
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					seen[[2]int{i, j}]++
+				}
+			}
+		})
+		if len(seen) != c.rows*c.cols {
+			t.Fatalf("%+v: covered %d cells, want %d", c, len(seen), c.rows*c.cols)
+		}
+		for cell, n := range seen {
+			if n != 1 {
+				t.Fatalf("%+v: cell %v visited %d times", c, cell, n)
+			}
+		}
+	}
+}

@@ -93,19 +93,59 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns m·x as a vector.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	if m.Cols != len(x) {
-		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
-	}
 	out := make([]float64, m.Rows)
+	m.MulVecTo(out, x)
+	return out
+}
+
+// MulVecTo computes m·x into dst without allocating. dst must have
+// exactly m.Rows elements. Row sums accumulate left to right, so the
+// result is bit-identical to MulVec.
+func (m *Matrix) MulVecTo(dst, x []float64) {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecTo destination has %d elements, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+}
+
+// ForEachBlock tiles the rows×cols index space into blockRows×blockCols
+// blocks and calls fn once per block with the half-open row and column
+// ranges [r0,r1)×[c0,c1), row blocks outermost. A non-positive block
+// size disables tiling along that dimension. Kernels that fill or
+// traverse a large matrix use it to keep both operand panels resident
+// in cache; the visit order is deterministic, so a kernel whose
+// per-element computation is order-independent produces bit-identical
+// results for any block size.
+func ForEachBlock(rows, cols, blockRows, blockCols int, fn func(r0, r1, c0, c1 int)) {
+	if blockRows <= 0 {
+		blockRows = rows
+	}
+	if blockCols <= 0 {
+		blockCols = cols
+	}
+	for r0 := 0; r0 < rows; r0 += blockRows {
+		r1 := r0 + blockRows
+		if r1 > rows {
+			r1 = rows
+		}
+		for c0 := 0; c0 < cols; c0 += blockCols {
+			c1 := c0 + blockCols
+			if c1 > cols {
+				c1 = cols
+			}
+			fn(r0, r1, c0, c1)
+		}
+	}
 }
 
 // Dot returns the inner product of two equal-length vectors.

@@ -1,0 +1,216 @@
+package rbf
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"predperf/internal/mat"
+)
+
+// Compiled is a Network flattened into structure-of-arrays form for
+// batch evaluation: one contiguous center matrix and one precomputed
+// 1/r² matrix (both m×dims, row-major, basis j at [j*dims,(j+1)*dims)),
+// plus the weight vector. PredictBatch computes the design matrix
+// H (N configs × m centers) in cache-sized tiles with the H·w product
+// fused into the pass, replacing N independent walks over []Basis with
+// dense, contiguous, allocation-free passes.
+//
+// ULP policy: every H entry is exp(−Σₖ dₖ²·(1/rₖ²)) accumulated in
+// dimension order, and every output is Σⱼ wⱼ·Hⱼ accumulated in basis
+// order — exactly the operation sequence of the scalar Basis.Eval /
+// Network.Predict pair, so compiled results are bit-identical to the
+// scalar path, not merely close. (The scalar path itself moved from
+// (d/r)² to d²·(1/r²) when 1/r² hoisting landed; that one-time
+// change is the only documented ULP difference, and it applies to
+// scalar and compiled evaluation alike.)
+type Compiled struct {
+	dims    int
+	m       int
+	centers []float64
+	invR2   []float64
+	weights []float64
+}
+
+// Design-matrix tile sizes. A 64×64 tile touches 64 config rows and 64
+// basis rows per pass — with 9 dimensions that is ~9 KB of centers plus
+// 9 KB of inverse radii per column panel, resident in L1 while the row
+// panel streams through. Correctness never depends on these: each H
+// entry is computed independently, so any tiling gives bit-identical
+// results (see mat.ForEachBlock).
+const (
+	blockConfigs = 64
+	blockCenters = 64
+)
+
+// compileBases flattens a basis slice into the SoA center and 1/r²
+// matrices. Bases that already carry precomputed inverse radii reuse
+// them; others compute 1/(r·r) here, the same expression Precompute
+// caches, so both routes yield identical values.
+func compileBases(bases []Basis) (dims int, centers, invR2 []float64) {
+	if len(bases) == 0 {
+		return 0, nil, nil
+	}
+	dims = len(bases[0].Center)
+	centers = make([]float64, len(bases)*dims)
+	invR2 = make([]float64, len(bases)*dims)
+	for j := range bases {
+		b := &bases[j]
+		if len(b.Center) != dims || len(b.Radius) != dims {
+			panic(fmt.Sprintf("rbf: basis %d has %d/%d dims, want %d",
+				j, len(b.Center), len(b.Radius), dims))
+		}
+		off := j * dims
+		copy(centers[off:off+dims], b.Center)
+		if b.invR2 != nil {
+			copy(invR2[off:off+dims], b.invR2)
+		} else {
+			for k, r := range b.Radius {
+				invR2[off+k] = 1 / (r * r)
+			}
+		}
+	}
+	return dims, centers, invR2
+}
+
+// Compile flattens the network into its batch evaluation form. The
+// result shares no mutable state with the network and is safe for
+// concurrent use.
+func (n *Network) Compile() *Compiled {
+	dims, centers, invR2 := compileBases(n.Bases)
+	w := make([]float64, len(n.Weights))
+	copy(w, n.Weights)
+	return &Compiled{dims: dims, m: len(n.Bases), centers: centers, invR2: invR2, weights: w}
+}
+
+// M returns the number of basis functions.
+func (c *Compiled) M() int { return c.m }
+
+// Dims returns the input dimensionality.
+func (c *Compiled) Dims() int { return c.dims }
+
+// Predict evaluates the compiled network at one point, bit-identical
+// to Network.Predict.
+func (c *Compiled) Predict(x []float64) float64 {
+	var s float64
+	for j := 0; j < c.m; j++ {
+		off := j * c.dims
+		cen := c.centers[off : off+len(x)]
+		inv := c.invR2[off : off+len(x)]
+		var e float64
+		for k, xk := range x {
+			d := xk - cen[k]
+			e += d * d * inv[k]
+		}
+		s += c.weights[j] * math.Exp(-e)
+	}
+	return s
+}
+
+// PredictBatch evaluates the network at every row of xs with one
+// blocked pass over the flattened centers. Results are bit-identical
+// to calling Predict per row.
+func (c *Compiled) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	c.PredictBatchTo(out, xs)
+	return out
+}
+
+// PredictBatchTo is PredictBatch into a caller-owned destination
+// (len(dst) == len(xs)), so callers evaluating disjoint slices of a
+// larger batch — e.g. worker-pool chunks — allocate nothing per call.
+//
+// The H·w product is fused into the blocked design pass: dst[i] is the
+// running accumulator, and because ForEachBlock visits each row's
+// column blocks in ascending order, the per-row accumulation sequence
+// is exactly w₀h₀ + w₁h₁ + … — the scalar Predict order — rather than
+// a sum of per-block partials, which would round differently.
+func (c *Compiled) PredictBatchTo(dst []float64, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("rbf: PredictBatchTo destination has %d slots for %d inputs", len(dst), len(xs)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(xs) == 0 || c.m == 0 {
+		return
+	}
+	mat.ForEachBlock(len(xs), c.m, blockConfigs, blockCenters, func(r0, r1, c0, c1 int) {
+		for i := r0; i < r1; i++ {
+			x := xs[i]
+			s := dst[i]
+			for j := c0; j < c1; j++ {
+				off := j * c.dims
+				cen := c.centers[off : off+len(x)]
+				inv := c.invR2[off : off+len(x)]
+				var e float64
+				for k, xk := range x {
+					d := xk - cen[k]
+					e += d * d * inv[k]
+				}
+				s += c.weights[j] * math.Exp(-e)
+			}
+			dst[i] = s
+		}
+	})
+}
+
+// designInto fills h (len(xs) × c.m) with H[i][j] = hⱼ(xᵢ), tiled over
+// both dimensions so the center/inverse-radius panels stay cache
+// resident while config rows stream through.
+func (c *Compiled) designInto(h *mat.Matrix, xs [][]float64) {
+	mat.ForEachBlock(len(xs), c.m, blockConfigs, blockCenters, func(r0, r1, c0, c1 int) {
+		for i := r0; i < r1; i++ {
+			x := xs[i]
+			row := h.Row(i)
+			for j := c0; j < c1; j++ {
+				off := j * c.dims
+				cen := c.centers[off : off+len(x)]
+				inv := c.invR2[off : off+len(x)]
+				var e float64
+				for k, xk := range x {
+					d := xk - cen[k]
+					e += d * d * inv[k]
+				}
+				row[j] = math.Exp(-e)
+			}
+		}
+	})
+}
+
+// DesignMatrix evaluates every candidate basis at every row of xs into
+// the len(xs)×len(bases) design matrix H (H[i][j] = hⱼ(xᵢ)) using the
+// same blocked kernel as PredictBatch. The fit path (gram assembly in
+// Fit's subset selection) and the serving path share it, so training
+// and inference evaluate Gaussians with identical arithmetic.
+func DesignMatrix(bases []Basis, xs [][]float64) *mat.Matrix {
+	h := mat.New(len(xs), len(bases))
+	if len(bases) == 0 || len(xs) == 0 {
+		return h
+	}
+	dims, centers, invR2 := compileBases(bases)
+	c := &Compiled{dims: dims, m: len(bases), centers: centers, invR2: invR2}
+	c.designInto(h, xs)
+	return h
+}
+
+// compiledCache lazily builds and memoizes a FitResult's compiled
+// network.
+type compiledCache struct {
+	once sync.Once
+	c    *Compiled
+}
+
+// Compiled returns the fitted network's batch evaluation form, built
+// lazily and at most once per FitResult (concurrent callers share one
+// build).
+func (r *FitResult) Compiled() *Compiled {
+	r.compiled.once.Do(func() { r.compiled.c = r.Net.Compile() })
+	return r.compiled.c
+}
+
+// PredictBatch evaluates the fitted network at every row of xs through
+// the compiled batch path, bit-identical to per-row Predict.
+func (r *FitResult) PredictBatch(xs [][]float64) []float64 {
+	return r.Compiled().PredictBatch(xs)
+}

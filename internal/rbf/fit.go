@@ -18,18 +18,12 @@ type gram struct {
 	yy float64
 }
 
-// newGram evaluates all candidate bases on the sample and forms the Gram
-// system.
+// newGram evaluates all candidate bases on the sample — one blocked
+// design-matrix pass through the same kernel PredictBatch uses — and
+// forms the Gram system.
 func newGram(bases []Basis, x [][]float64, y []float64) *gram {
-	p, m := len(x), len(bases)
-	h := mat.New(p, m)
-	for i, xi := range x {
-		row := h.Row(i)
-		for j := range bases {
-			row[j] = bases[j].Eval(xi)
-		}
-	}
-	gr := &gram{p: p, g: h.T().Mul(h), hy: h.T().MulVec(y)}
+	h := DesignMatrix(bases, x)
+	gr := &gram{p: len(x), g: h.T().Mul(h), hy: h.T().MulVec(y)}
 	for _, v := range y {
 		gr.yy += v * v
 	}

@@ -19,14 +19,39 @@ import (
 type Basis struct {
 	Center []float64
 	Radius []float64
+
+	// invR2 caches 1/rₖ² so Eval multiplies instead of dividing per
+	// dimension. Populated by Precompute (fit and load paths call it);
+	// a zero-value Basis still evaluates correctly through the slow
+	// path, which performs the same 1/r² computation per call and is
+	// therefore bit-identical to the cached path.
+	invR2 []float64
+}
+
+// Precompute caches the per-dimension inverse squared radii. It must
+// not race with Eval: call it once when the basis is constructed,
+// before the basis is shared across goroutines.
+func (b *Basis) Precompute() {
+	inv := make([]float64, len(b.Radius))
+	for k, r := range b.Radius {
+		inv[k] = 1 / (r * r)
+	}
+	b.invR2 = inv
 }
 
 // Eval returns h(x).
 func (b *Basis) Eval(x []float64) float64 {
 	var s float64
-	for k, xk := range x {
-		d := (xk - b.Center[k]) / b.Radius[k]
-		s += d * d
+	if inv := b.invR2; inv != nil {
+		for k, xk := range x {
+			d := xk - b.Center[k]
+			s += d * d * inv[k]
+		}
+	} else {
+		for k, xk := range x {
+			d := xk - b.Center[k]
+			s += d * d * (1 / (b.Radius[k] * b.Radius[k]))
+		}
 	}
 	return math.Exp(-s)
 }
@@ -46,13 +71,21 @@ func (n *Network) Predict(x []float64) float64 {
 	return s
 }
 
-// PredictAll evaluates the network at each row of xs.
+// PredictAll evaluates the network at each row of xs through the
+// compiled batch path (one blocked design-matrix pass and one H·w
+// product), bit-identical to calling Predict per row.
 func (n *Network) PredictAll(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = n.Predict(x)
+	return n.Compile().PredictBatch(xs)
+}
+
+// Precompute caches 1/r² on every basis (see Basis.Precompute) and
+// returns the network for chaining. Fit and model-load paths call it so
+// the scalar Predict hot loop never divides.
+func (n *Network) Precompute() *Network {
+	for i := range n.Bases {
+		n.Bases[i].Precompute()
 	}
-	return out
+	return n
 }
 
 // M returns the number of basis functions (RBF centers) in the network.

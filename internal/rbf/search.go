@@ -58,6 +58,11 @@ type FitResult struct {
 	Alpha float64
 	AICc  float64
 	SSE   float64 // training sum of squared errors
+
+	// compiled memoizes the batch evaluation form (see Compiled). The
+	// sync.Once inside means a FitResult must not be copied by value
+	// once in use; every construction site hands out pointers.
+	compiled compiledCache
 }
 
 // NumCenters returns the number of RBF centers in the selected model.

@@ -22,6 +22,7 @@ func candidateBases(tr *rtree.Tree, alpha, minRadius float64) ([]Basis, []*rtree
 			}
 		}
 		bases[i] = Basis{Center: n.Center(), Radius: r}
+		bases[i].Precompute()
 	}
 	return bases, nodes
 }

@@ -315,13 +315,52 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	cPredicts.Inc()
 	cBatchPts.Add(int64(len(batch)))
 	cModelPredictions.With(req.Model).Add(int64(len(batch)))
-	preds := make([]prediction, len(batch))
-	// Batch requests fan out over the shared worker pool; each point
-	// writes to its own slot, so the response order matches the request.
-	par.For(s.opt.Workers, len(batch), func(i int) {
-		preds[i] = s.predictOne(entry, batch[i].config())
-	})
+	var preds []prediction
+	if len(batch) == 1 {
+		// A single prediction never pays worker-pool dispatch: it goes
+		// through the coalescer when one is running — concurrent
+		// singles then share one vectorized evaluation — and straight
+		// to predictOne otherwise. Both routes are bit-identical.
+		var p prediction
+		if s.coalesce.enabled() {
+			var err error
+			p, err = s.coalesce.predict(r.Context(), entry, batch[0].config())
+			switch {
+			case errors.Is(err, ErrCoalesceQueueFull):
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, "coalesce_queue_full",
+					"the prediction admission queue is full; retry shortly")
+				return
+			case errors.Is(err, ErrCoalesceStopped):
+				writeErr(w, http.StatusServiceUnavailable, "shutting_down",
+					"the server is draining and no longer accepts predictions")
+				return
+			case err != nil: // the request's own context died while queued
+				writeErr(w, http.StatusServiceUnavailable, "request_canceled",
+					"request canceled while queued for coalescing: %v", err)
+				return
+			}
+		} else {
+			p = s.predictOne(entry, batch[0].config())
+		}
+		preds = []prediction{p}
+	} else {
+		// Explicit batches skip the coalescer: they already have batch
+		// shape, so they go straight to the vectorized evaluator.
+		cfgs := make([]design.Config, len(batch))
+		for i, wc := range batch {
+			cfgs[i] = wc.config()
+		}
+		preds = s.predictBatch(entry, cfgs)
+	}
 	writeJSON(w, http.StatusOK, predictResponse{Model: req.Model, Predictions: preds})
+}
+
+// cacheKey is the LRU key for one quantized configuration: the entry
+// generation retires every cached value for a name when a hot-reload
+// replaces its model (stale entries stop matching and age out).
+func cacheKey(e *Entry, q design.Config) string {
+	return e.Name + "\x00" + strconv.FormatUint(e.gen, 10) + "\x00" + q.Key()
 }
 
 // predictOne scores one configuration: clamp and quantize it through
@@ -336,7 +375,7 @@ func (s *Server) predictOne(e *Entry, cfg design.Config) prediction {
 	m := e.Model
 	q := m.Space.Decode(m.Space.Encode(cfg), m.SampleSize)
 	p := prediction{Config: toWire(q), Clamped: q != cfg}
-	key := e.Name + "\x00" + strconv.FormatUint(e.gen, 10) + "\x00" + q.Key()
+	key := cacheKey(e, q)
 	if v, ok := s.cache.Get(key); ok {
 		cCacheHits.Inc()
 		p.Value, p.Cached = v, true
@@ -350,6 +389,61 @@ func (s *Server) predictOne(e *Entry, cfg design.Config) prediction {
 	// or off.
 	s.shadow.offer(e, q, p.Value)
 	return p
+}
+
+// predictBatchChunk is how many configurations one worker scores per
+// vectorized call when a large batch is split across the pool.
+const predictBatchChunk = 256
+
+// predictBatch scores a batch of configurations with the compiled RBF
+// evaluator: quantize every input, serve what the LRU already holds,
+// then evaluate all cache misses in one blocked design-matrix pass
+// (chunked across the worker pool when the miss set is large — fixed
+// slots, so results are deterministic). Per-config semantics are
+// identical to predictOne — same quantization, cache keys, generation
+// handling, and shadow sampling — and the values are bit-identical to
+// the scalar path, so the coalescer and explicit batches can share it.
+func (s *Server) predictBatch(e *Entry, cfgs []design.Config) []prediction {
+	m := e.Model
+	preds := make([]prediction, len(cfgs))
+	missIdx := make([]int, 0, len(cfgs))
+	missXs := make([][]float64, 0, len(cfgs))
+	quant := make([]design.Config, len(cfgs))
+	for i, cfg := range cfgs {
+		q := m.Space.Decode(m.Space.Encode(cfg), m.SampleSize)
+		quant[i] = q
+		preds[i] = prediction{Config: toWire(q), Clamped: q != cfg}
+		if v, ok := s.cache.Get(cacheKey(e, q)); ok {
+			cCacheHits.Inc()
+			preds[i].Value, preds[i].Cached = v, true
+			s.shadow.offer(e, q, v)
+			continue
+		}
+		cCacheMiss.Inc()
+		missIdx = append(missIdx, i)
+		missXs = append(missXs, m.Space.Encode(q))
+	}
+	if len(missIdx) == 0 {
+		return preds
+	}
+	vals := make([]float64, len(missXs))
+	cm := m.Fit.Compiled()
+	chunks := (len(missXs) + predictBatchChunk - 1) / predictBatchChunk
+	par.For(s.opt.Workers, chunks, func(ci int) {
+		lo := ci * predictBatchChunk
+		hi := lo + predictBatchChunk
+		if hi > len(missXs) {
+			hi = len(missXs)
+		}
+		cm.PredictBatchTo(vals[lo:hi], missXs[lo:hi])
+	})
+	for a, i := range missIdx {
+		q := quant[i]
+		preds[i].Value = vals[a]
+		s.cache.Put(cacheKey(e, q), vals[a])
+		s.shadow.offer(e, q, vals[a])
+	}
+	return preds
 }
 
 // ---- /v1/search ----

@@ -14,10 +14,13 @@
 //
 // Production behaviors live here rather than in the CLI: an RWMutex
 // model registry with lazy per-model simulator evaluators, a bounded
-// LRU prediction cache keyed on (model, quantized config), batch
-// fan-out through the internal/par worker pool, request-size limits,
-// per-request timeouts, structured JSON errors, and graceful shutdown
-// (drain with a deadline).
+// LRU prediction cache keyed on (model, quantized config), vectorized
+// batch evaluation (one blocked design-matrix pass per batch via
+// rbf.Compiled, chunked over the internal/par pool for large batches),
+// micro-batch coalescing of concurrent single predictions (Options.
+// CoalesceWindow), request-size limits, per-request timeouts,
+// structured JSON errors, and graceful shutdown (drain with a
+// deadline).
 //
 // Every incoming configuration is validated and then clamped/quantized
 // through the model's design.Space exactly as at training time
@@ -68,6 +71,20 @@ type Options struct {
 	// MaxBatch bounds the number of configurations in one predict
 	// request (default 4096).
 	MaxBatch int
+	// CoalesceWindow bounds how long a single prediction may wait for
+	// companions before its micro-batch is flushed. Concurrent single
+	// requests inside one window share a single vectorized model
+	// evaluation, bit-identical to evaluating them alone. 0 (the
+	// default) disables coalescing; cmd/predserve turns it on at 1ms.
+	CoalesceWindow time.Duration
+	// CoalesceMax flushes a micro-batch as soon as it holds this many
+	// configurations, without waiting out the window (default 64).
+	CoalesceMax int
+	// CoalesceQueue bounds the coalescer's admission queue; a full
+	// queue answers a structured 503 (coalesce_queue_full) immediately
+	// instead of blocking the handler toward its deadline (default
+	// 4096).
+	CoalesceQueue int
 	// SearchTraceLen is the trace length used when /v1/search verifies
 	// its shortlist with the simulator (default 50k instructions).
 	SearchTraceLen int
@@ -130,6 +147,12 @@ func (o Options) withDefaults() Options {
 	if o.SearchTraceLen <= 0 {
 		o.SearchTraceLen = 50_000
 	}
+	if o.CoalesceMax <= 0 {
+		o.CoalesceMax = 64
+	}
+	if o.CoalesceQueue <= 0 {
+		o.CoalesceQueue = 4096
+	}
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
@@ -177,6 +200,7 @@ type Server struct {
 	slos     []*obs.SLO
 	alerts   *obs.AlertSet
 	shadow   *shadowMonitor
+	coalesce *coalescer
 }
 
 // New builds a Server with an empty registry. Load models through
@@ -231,6 +255,7 @@ func New(opt Options) *Server {
 	}
 	s.alerts = obs.NewAlertSet(s.clock)
 	s.shadow = newShadowMonitor(opt, s.clock)
+	s.coalesce = newCoalescer(opt.CoalesceWindow, opt.CoalesceMax, opt.CoalesceQueue, s.predictBatch)
 
 	s.http = &http.Server{
 		Handler:           s.Handler(),
@@ -296,12 +321,15 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains in-flight requests, waiting at most deadline before
-// giving up on stragglers, then stops the shadow workers (which finish
-// their in-flight simulations). New connections are refused immediately.
+// giving up on stragglers, then stops the coalescer dispatcher (which
+// evaluates everything already queued) and the shadow workers (which
+// finish their in-flight simulations). New connections are refused
+// immediately.
 func (s *Server) Shutdown(deadline time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	err := s.http.Shutdown(ctx)
+	s.coalesce.stop()
 	s.shadow.stop()
 	return err
 }
