@@ -38,6 +38,16 @@
 // lists firing and resolved alerts with timestamps; /statusz is a
 // self-contained HTML dashboard.
 //
+// With -retrain, drift closes the loop instead of only flipping
+// readiness: a model whose drift alert fires for -retrain-after is
+// rebuilt in the background at escalated sample sizes (-retrain-sizes,
+// stopping at -retrain-target-pct mean test error), hot-swapped into
+// the registry under a new generation, and persisted atomically back
+// into -models. Retrains are single-flight per model, bounded by
+// -retrain-max-concurrent, and cooled down by -retrain-cooldown after
+// success and failure alike; progress shows up in serve_retrains
+// counters, /statusz, /alertz, and as non-failing notes in /readyz.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes
 // immediately, in-flight requests get -drain to finish, and the process
 // exits 0 on a clean drain.
@@ -54,6 +64,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -61,6 +72,24 @@ import (
 	"predperf/internal/obs"
 	"predperf/internal/serve"
 )
+
+// parseSizes turns the -retrain-sizes flag ("60,90,120") into the
+// escalation ladder; malformed or non-positive entries are fatal, an
+// empty flag means automatic escalation.
+func parseSizes(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			log.Fatalf("-retrain-sizes: %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
@@ -89,6 +118,15 @@ func main() {
 	shadowFrac := flag.Float64("shadow-frac", 0, "fraction of served predictions re-checked on the cycle-level simulator (0 disables, 1 checks everything)")
 	shadowWorkers := flag.Int("shadow-workers", 1, "background shadow-simulation worker goroutines")
 	shadowErr := flag.Float64("shadow-err-pct", 25, "windowed mean shadow error (percent) above which a model counts as drifting (negative never trips)")
+	retrain := flag.Bool("retrain", false, "rebuild drifting models at escalated sample sizes and hot-swap the winner (requires -shadow-frac > 0 to ever trigger)")
+	retrainSizes := flag.String("retrain-sizes", "", "comma-separated escalation ladder of sample sizes; only sizes above the serving model's are built (empty = 2x/3x/4x the serving size)")
+	retrainTarget := flag.Float64("retrain-target-pct", 5, "stop the retrain escalation once mean test error drops to this percentage")
+	retrainCooldown := flag.Duration("retrain-cooldown", 10*time.Minute, "per-model pause after a retrain (success or failure) before another may start")
+	retrainMax := flag.Int("retrain-max-concurrent", 1, "simultaneous retrains across all models")
+	retrainAfter := flag.Duration("retrain-after", 30*time.Second, "how long a model's drift alert must fire continuously before a retrain starts")
+	retrainPoll := flag.Duration("retrain-poll", 10*time.Second, "drift-state poll cadence of the retrain controller")
+	retrainTestPoints := flag.Int("retrain-test-points", 24, "simulator-backed test points driving the retrain stopping rule")
+	retrainWorkers := flag.Int("retrain-workers", 1, "worker goroutines for one background retrain build")
 	flag.Parse()
 
 	if *version {
@@ -156,7 +194,20 @@ func main() {
 		ShadowFraction:  *shadowFrac,
 		ShadowWorkers:   *shadowWorkers,
 		ShadowErrPct:    *shadowErr,
+
+		Retrain:              *retrain,
+		RetrainSizes:         parseSizes(*retrainSizes),
+		RetrainTargetPct:     *retrainTarget,
+		RetrainCooldown:      *retrainCooldown,
+		RetrainMaxConcurrent: *retrainMax,
+		RetrainAfter:         *retrainAfter,
+		RetrainPoll:          *retrainPoll,
+		RetrainTestPoints:    *retrainTestPoints,
+		RetrainWorkers:       *retrainWorkers,
 	})
+	if *retrain && *shadowFrac <= 0 {
+		log.Print("warning: -retrain has no trigger without shadow monitoring; set -shadow-frac > 0")
+	}
 	if *modelsDir != "" {
 		names, err := srv.Registry().LoadDir("")
 		if err != nil {

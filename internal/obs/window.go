@@ -346,6 +346,26 @@ func (w *WindowedHistogram) GoodOver(d time.Duration, threshold float64) (good, 
 	return good, n
 }
 
+// Rebase forgets the window's history and re-bases every ring slot at
+// the current cumulative state: every windowed delta reads zero until
+// new observations arrive. The serving layer calls it when the entity a
+// window describes is replaced wholesale (a hot-swapped model), so
+// observations of the predecessor stop counting against the successor.
+func (w *WindowedHistogram) Rebase() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.r.clear()
+	w.sync()
+}
+
+// Rebase forgets the window's history (see WindowedHistogram.Rebase).
+func (w *WindowedCounter) Rebase() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.r.clear()
+	w.sync()
+}
+
 // Series returns per-bucket observation counts over the last d, oldest
 // first, live partial bucket last.
 func (w *WindowedHistogram) Series(d time.Duration) []float64 {

@@ -345,3 +345,60 @@ func TestReadReportFormat1(t *testing.T) {
 		t.Fatalf("format-1 report grew windows/SLOs: %+v", rep)
 	}
 }
+
+// TestWindowedRebase: Rebase forgets everything inside the window —
+// counts and sums over every span read zero — while new observations
+// count normally, and the underlying cumulative series is untouched.
+func TestWindowedRebase(t *testing.T) {
+	Reset()
+	clk := newFakeClock()
+	h := NewHistogram("test.win_rebase", DefLatencyBuckets)
+	w := WindowHistogram(h, clk.now)
+	w.Tick()
+	for i := 0; i < 5; i++ {
+		h.Observe(40)
+		clk.advance(DefWindowBucket)
+		w.Tick()
+	}
+	if got := w.CountOver(DefSlowWindow); got != 5 {
+		t.Fatalf("pre-rebase CountOver(1h) = %d, want 5", got)
+	}
+
+	w.Rebase()
+	if got := w.CountOver(DefSlowWindow); got != 0 {
+		t.Fatalf("post-rebase CountOver(1h) = %d, want 0", got)
+	}
+	if got := w.MeanOver(DefSlowWindow); got != 0 {
+		t.Fatalf("post-rebase MeanOver(1h) = %v, want 0", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("rebase touched the cumulative histogram: count %d", h.Count())
+	}
+
+	// Fresh observations after the rebase count from zero.
+	h.Observe(2)
+	clk.advance(DefWindowBucket)
+	w.Tick()
+	if got := w.CountOver(DefSlowWindow); got != 1 {
+		t.Fatalf("post-rebase fresh CountOver(1h) = %d, want 1", got)
+	}
+	if got := w.MeanOver(DefSlowWindow); got != 2 {
+		t.Fatalf("post-rebase fresh MeanOver(1h) = %v, want 2", got)
+	}
+
+	c := NewCounter("test.win_rebase_c")
+	wc := WindowCounter(c, clk.now)
+	wc.Tick()
+	c.Add(7)
+	if got := wc.CountOver(DefSlowWindow); got != 7 {
+		t.Fatalf("counter pre-rebase CountOver = %d, want 7", got)
+	}
+	wc.Rebase()
+	if got := wc.CountOver(DefSlowWindow); got != 0 {
+		t.Fatalf("counter post-rebase CountOver = %d, want 0", got)
+	}
+	c.Add(2)
+	if got := wc.CountOver(DefSlowWindow); got != 2 {
+		t.Fatalf("counter post-rebase fresh CountOver = %d, want 2", got)
+	}
+}

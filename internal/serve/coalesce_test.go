@@ -440,3 +440,25 @@ func TestBatchVectorizedBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestCoalescePredictAfterStop pins the shutdown straggler behavior on
+// the coalescer side: a handler arriving after stop() gets a structured
+// ErrCoalesceStopped — never a panic, never a hang.
+func TestCoalescePredictAfterStop(t *testing.T) {
+	m := buildTestModel(t, "after-stop")
+	e := &Entry{Name: "after-stop", Model: m}
+	c := newCoalescer(time.Millisecond, 4, 16, func(e *Entry, cfgs []design.Config) []prediction {
+		out := make([]prediction, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = prediction{Value: e.Model.PredictConfig(cfg)}
+		}
+		return out
+	})
+	if p, err := c.predict(context.Background(), e, m.Configs[0]); err != nil || p.Value != m.PredictConfig(m.Configs[0]) {
+		t.Fatalf("pre-stop predict = %+v, %v", p, err)
+	}
+	c.stop()
+	if _, err := c.predict(context.Background(), e, m.Configs[0]); err != ErrCoalesceStopped {
+		t.Fatalf("predict after stop returned %v, want ErrCoalesceStopped", err)
+	}
+}

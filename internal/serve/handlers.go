@@ -162,6 +162,10 @@ type modelInfo struct {
 	Centers    int     `json:"centers"`
 	AICc       float64 `json:"aicc"`
 	Path       string  `json:"path,omitempty"`
+	// Generation distinguishes successive holders of the name: it bumps
+	// on every hot load and every retrain hot-swap, so an operator (or
+	// the CI smoke test) can tell a retrained model went live.
+	Generation uint64 `json:"generation"`
 }
 
 func entryInfo(e *Entry) modelInfo {
@@ -172,6 +176,7 @@ func entryInfo(e *Entry) modelInfo {
 		Centers:    e.Model.Fit.NumCenters(),
 		AICc:       e.Model.Fit.AICc,
 		Path:       e.Path,
+		Generation: e.Generation(),
 	}
 }
 

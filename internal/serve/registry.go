@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"predperf/internal/core"
 	"predperf/internal/design"
@@ -14,9 +15,9 @@ import (
 )
 
 // Entry is one loaded model in the registry. The simulator evaluator
-// used by /v1/search to verify shortlists is constructed lazily and at
-// most once, because building it loads (or generates) a benchmark
-// trace.
+// used by /v1/search to verify shortlists (and by the shadow monitor
+// and retrain controller) is constructed lazily, because building it
+// loads (or generates) a benchmark trace.
 type Entry struct {
 	Name  string      // registry key
 	Model *core.Model // the fitted model (read-only once registered)
@@ -28,23 +29,59 @@ type Entry struct {
 	// them as stale hits.
 	gen uint64
 
-	simOnce sync.Once
-	simEv   *core.SimEvaluator
-	simErr  error
+	// Lazy simulator evaluator. Success is memoized forever; a FAILED
+	// construction is memoized only until simRetryBackoff elapses, so a
+	// transient trace-load failure cannot permanently disable shadow
+	// verification, sim-verified search, or drift-triggered retraining
+	// for the entry — while a truly-missing benchmark retries at a
+	// bounded rate instead of hot-looping.
+	simMu      sync.Mutex
+	simEv      *core.SimEvaluator
+	simErr     error
+	simLastTry time.Time
+	now        func() time.Time // test hook; nil means time.Now
 }
+
+// Generation reports which holder of the registry name this entry is.
+// It increases monotonically across the whole registry: every Add (hot
+// load or retrain hot-swap) stamps a fresh generation, and the
+// prediction cache keys on it.
+func (e *Entry) Generation() uint64 { return e.gen }
+
+// simRetryBackoff bounds how often a failed evaluator construction is
+// retried. Construction failures are usually transient (an unreadable
+// trace file mid-rewrite); retrying on the next call after a short
+// backoff restores shadow verification without manual intervention.
+const simRetryBackoff = 5 * time.Second
+
+// newSimEvaluator builds the entry's evaluator; a package variable so
+// tests can inject transient construction failures.
+var newSimEvaluator = core.NewSimEvaluator
 
 // simEvaluator returns the entry's simulator evaluator, building it on
 // first use from the model's persisted benchmark name. Models whose
 // name is not a known benchmark workload return an error; /v1/search
-// then falls back to model-verified search.
+// then falls back to model-verified search. Construction errors are
+// retried after simRetryBackoff (see the Entry field docs); concurrent
+// callers single-flight on the entry's mutex.
 func (e *Entry) simEvaluator(traceLen int) (*core.SimEvaluator, error) {
-	e.simOnce.Do(func() {
-		if e.Model.Name == "" {
-			e.simErr = fmt.Errorf("serve: model %q carries no benchmark name", e.Name)
-			return
-		}
-		e.simEv, e.simErr = core.NewSimEvaluator(e.Model.Name, traceLen)
-	})
+	e.simMu.Lock()
+	defer e.simMu.Unlock()
+	if e.simEv != nil {
+		return e.simEv, nil
+	}
+	if e.Model.Name == "" {
+		return nil, fmt.Errorf("serve: model %q carries no benchmark name", e.Name)
+	}
+	clock := e.now
+	if clock == nil {
+		clock = time.Now
+	}
+	if e.simErr != nil && clock().Sub(e.simLastTry) < simRetryBackoff {
+		return nil, e.simErr
+	}
+	e.simLastTry = clock()
+	e.simEv, e.simErr = newSimEvaluator(e.Model.Name, traceLen)
 	return e.simEv, e.simErr
 }
 

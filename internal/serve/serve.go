@@ -126,6 +126,38 @@ type Options struct {
 	// ShadowMinSamples is how many windowed shadow samples a model needs
 	// before drift can fire (default 10).
 	ShadowMinSamples int
+	// Retrain enables the drift-triggered retrain controller: models
+	// whose shadow drift alert fires for RetrainAfter are rebuilt at
+	// escalated sample sizes and hot-swapped in. Requires shadow
+	// monitoring (ShadowFraction > 0) to ever trigger.
+	Retrain bool
+	// RetrainSizes is the escalation ladder of sample sizes; only sizes
+	// above the serving model's are built. Empty means automatic: 2×,
+	// 3×, 4× the serving model's sample size.
+	RetrainSizes []int
+	// RetrainTargetPct stops the escalation once the mean test error
+	// drops to this percentage (default 5, the paper's "a few percent").
+	RetrainTargetPct float64
+	// RetrainCooldown is the per-model pause after a retrain finishes —
+	// success or failure — before another may start (default 10m).
+	RetrainCooldown time.Duration
+	// RetrainMaxConcurrent bounds simultaneous retrains across all
+	// models (default 1).
+	RetrainMaxConcurrent int
+	// RetrainAfter is how long a model's drift alert must fire
+	// continuously before a retrain starts (default 30s; negative means
+	// immediately).
+	RetrainAfter time.Duration
+	// RetrainPoll is the wall-clock cadence of drift-state polls
+	// (default 10s). Tests set it high and drive polls directly.
+	RetrainPoll time.Duration
+	// RetrainTestPoints sizes the simulator-backed test set that drives
+	// the escalation's stopping rule (default 24).
+	RetrainTestPoints int
+	// RetrainWorkers bounds the internal/par worker budget of one
+	// background build, so retraining cannot starve the serving CPUs
+	// (default 1).
+	RetrainWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +209,29 @@ func (o Options) withDefaults() Options {
 	if o.ShadowMinSamples <= 0 {
 		o.ShadowMinSamples = 10
 	}
+	if o.RetrainTargetPct <= 0 {
+		o.RetrainTargetPct = 5
+	}
+	if o.RetrainCooldown <= 0 {
+		o.RetrainCooldown = 10 * time.Minute
+	}
+	if o.RetrainMaxConcurrent <= 0 {
+		o.RetrainMaxConcurrent = 1
+	}
+	if o.RetrainAfter == 0 {
+		o.RetrainAfter = 30 * time.Second
+	} else if o.RetrainAfter < 0 {
+		o.RetrainAfter = 0
+	}
+	if o.RetrainPoll <= 0 {
+		o.RetrainPoll = 10 * time.Second
+	}
+	if o.RetrainTestPoints <= 0 {
+		o.RetrainTestPoints = 24
+	}
+	if o.RetrainWorkers <= 0 {
+		o.RetrainWorkers = 1
+	}
 	return o
 }
 
@@ -201,6 +256,7 @@ type Server struct {
 	alerts   *obs.AlertSet
 	shadow   *shadowMonitor
 	coalesce *coalescer
+	retrain  *retrainController
 }
 
 // New builds a Server with an empty registry. Load models through
@@ -256,6 +312,11 @@ func New(opt Options) *Server {
 	s.alerts = obs.NewAlertSet(s.clock)
 	s.shadow = newShadowMonitor(opt, s.clock)
 	s.coalesce = newCoalescer(opt.CoalesceWindow, opt.CoalesceMax, opt.CoalesceQueue, s.predictBatch)
+	s.retrain = newRetrainController(opt, s.reg, s.shadow, s.clock)
+	if opt.Retrain {
+		obs.NewGaugeFunc("serve.retrains_inflight", func() float64 { return float64(s.retrain.inflightCount()) })
+	}
+	s.retrain.start()
 
 	s.http = &http.Server{
 		Handler:           s.Handler(),
@@ -321,14 +382,20 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains in-flight requests, waiting at most deadline before
-// giving up on stragglers, then stops the coalescer dispatcher (which
-// evaluates everything already queued) and the shadow workers (which
-// finish their in-flight simulations). New connections are refused
-// immediately.
+// giving up on stragglers, then stops the retrain controller (cancels
+// the escalation, waits for in-flight attempts), then the coalescer
+// dispatcher (which evaluates everything already queued), then the
+// shadow workers (which finish their in-flight simulations) — in that
+// order, because the coalescer's final flush feeds the shadow queue.
+// New connections are refused immediately. Handlers that outlive the
+// drain deadline remain safe: enqueueing into a stopped coalescer
+// answers a structured 503, and offering to the stopped shadow monitor
+// drops the sample and counts it.
 func (s *Server) Shutdown(deadline time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	err := s.http.Shutdown(ctx)
+	s.retrain.stop()
 	s.coalesce.stop()
 	s.shadow.stop()
 	return err

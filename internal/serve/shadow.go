@@ -67,9 +67,35 @@ type shadowMonitor struct {
 	jobs     sync.WaitGroup
 	stopOnce sync.Once
 
-	mu     sync.Mutex
+	// mu guards the per-model map AND the closed flag. offer holds the
+	// read lock across its queue send while stop flips closed under the
+	// write lock before closing the queue, so a straggler handler that
+	// outlives the HTTP drain deadline can never send on a closed
+	// channel — its sample is dropped and counted instead.
+	mu     sync.RWMutex
+	closed bool
 	models map[string]*shadowModelStats
 	order  []string
+}
+
+// shadowLimit converts a sampling fraction into the inclusive FNV-64a
+// threshold. The product frac·2⁶⁴ is clamped below 2⁶⁴ before the
+// float→uint64 conversion: converting a float64 at or above 2⁶⁴ is
+// implementation-defined in Go (amd64 saturates differently from
+// arm64), so the clamp keeps the threshold portable for fractions just
+// below 1. float64(math.MaxUint64) rounds to exactly 2⁶⁴.
+func shadowLimit(frac float64) uint64 {
+	if frac >= 1 {
+		return math.MaxUint64
+	}
+	if frac <= 0 {
+		return 0
+	}
+	f := frac * float64(math.MaxUint64)
+	if f >= float64(math.MaxUint64) {
+		return math.MaxUint64
+	}
+	return uint64(f)
 }
 
 // newShadowMonitor builds (and starts) the monitor. A fraction <= 0
@@ -86,11 +112,7 @@ func newShadowMonitor(opt Options, clock obs.Clock) *shadowMonitor {
 	if opt.ShadowFraction <= 0 {
 		return m
 	}
-	if opt.ShadowFraction >= 1 {
-		m.limit = math.MaxUint64
-	} else {
-		m.limit = uint64(opt.ShadowFraction * float64(math.MaxUint64))
-	}
+	m.limit = shadowLimit(opt.ShadowFraction)
 	m.queue = make(chan shadowJob, opt.ShadowQueue)
 	for i := 0; i < opt.ShadowWorkers; i++ {
 		go m.run()
@@ -121,9 +143,18 @@ func (m *shadowMonitor) sampled(model string, q design.Config) bool {
 // offer enqueues a served prediction for shadow verification if it is
 // sampled. Never blocks: a full queue drops the sample and increments
 // serve.shadow_dropped, so a slow simulator can never back-pressure the
-// predict path.
+// predict path. Safe to call concurrently with (and after) stop: a
+// straggler handler still in flight past the shutdown drain deadline
+// has its sample dropped and counted instead of panicking on a send to
+// the closed queue.
 func (m *shadowMonitor) offer(e *Entry, q design.Config, predicted float64) {
 	if !m.sampled(e.Name, q) {
+		return
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		cShadowDropped.Inc()
 		return
 	}
 	m.jobs.Add(1)
@@ -183,10 +214,21 @@ func (m *shadowMonitor) modelStats(model string) (*shadowModelStats, bool) {
 	if m == nil {
 		return nil, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	st, ok := m.models[model]
 	return st, ok
+}
+
+// resetModel forgets the model's windowed drift history: the retrain
+// controller calls it after hot-swapping a retrained model so samples
+// of the replaced generation stop counting against the new one (and
+// drift clears immediately instead of after the slow window drains).
+// The cumulative error histogram is untouched.
+func (m *shadowMonitor) resetModel(model string) {
+	if st, ok := m.modelStats(model); ok {
+		st.win.Rebase()
+	}
 }
 
 // driftState is one model's drift evaluation over the slow (1h) window.
@@ -204,10 +246,10 @@ func (m *shadowMonitor) driftStates() []driftState {
 	if !m.enabled() {
 		return nil
 	}
-	m.mu.Lock()
+	m.mu.RLock()
 	names := make([]string, len(m.order))
 	copy(names, m.order)
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	sort.Strings(names)
 	out := make([]driftState, 0, len(names))
 	for _, name := range names {
@@ -240,10 +282,16 @@ func (m *shadowMonitor) drain() {
 }
 
 // stop closes the queue; workers exit after finishing in-flight jobs.
-// Callers must not offer after stop (the server stops offering when the
-// HTTP side has drained).
+// Offers racing (or arriving after) stop are safe: the closed flag is
+// flipped under the write lock before the queue closes, so concurrent
+// offers either complete their send first or observe closed and drop.
 func (m *shadowMonitor) stop() {
 	if m.enabled() {
-		m.stopOnce.Do(func() { close(m.queue) })
+		m.stopOnce.Do(func() {
+			m.mu.Lock()
+			m.closed = true
+			m.mu.Unlock()
+			close(m.queue)
+		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"predperf/internal/core"
@@ -255,5 +256,84 @@ func TestShadowDriftTripsReadyz(t *testing.T) {
 	resp, body = getBody(t, hts.URL+"/readyz")
 	if resp.StatusCode != 200 {
 		t.Fatalf("after samples aged out: status %d body %s, want 200", resp.StatusCode, body)
+	}
+}
+
+// TestShadowOfferAfterStop is the regression test for the shutdown
+// straggler race: a handler that outlives the drain deadline and offers
+// a sample after stop() must have it dropped and counted — before the
+// closed flag existed this was a guaranteed panic (send on closed
+// channel).
+func TestShadowOfferAfterStop(t *testing.T) {
+	obs.Reset()
+	m := buildTestModel(t, "straggler")
+	e := &Entry{Name: "straggler", Model: m}
+	opt := Options{ShadowFraction: 1, ShadowWorkers: 1}.withDefaults()
+
+	mon := newShadowMonitor(opt, nil)
+	mon.stop()
+	mon.offer(e, m.Configs[0], 1.0) // must not panic
+	if obs.NewCounter("serve.shadow_dropped").Value() == 0 {
+		t.Fatal("offer after stop was not counted as dropped")
+	}
+
+	// The same interleaving under contention: many stragglers offering
+	// while stop runs concurrently. Run under -race this also proves the
+	// closed flag is properly synchronized.
+	mon2 := newShadowMonitor(opt, nil)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				mon2.offer(e, m.Configs[i%len(m.Configs)], 1.0)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		mon2.stop()
+	}()
+	close(start)
+	wg.Wait()
+	mon2.drain()
+}
+
+// TestShadowLimitBoundaries: the fraction→hash-threshold conversion is
+// exact at the boundaries and never performs an implementation-defined
+// out-of-range float→uint64 conversion. float64(MaxUint64) rounds to
+// 2^64 exactly, and the largest double below 1 times 2^64 is
+// 2^64 − 2^11 — representable, so the clamp guards the conversion
+// without changing any reachable value.
+func TestShadowLimitBoundaries(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want uint64
+	}{
+		{0, 0},
+		{-0.5, 0},
+		{1, math.MaxUint64},
+		{1.5, math.MaxUint64},
+		{0.5, 1 << 63},
+		{0.25, 1 << 62},
+		// The largest double below 1: (1 − 2⁻⁵³)·2⁶⁴ = 2⁶⁴ − 2¹¹.
+		{math.Nextafter(1, 0), math.MaxUint64 - 2047},
+	}
+	for _, c := range cases {
+		if got := shadowLimit(c.frac); got != c.want {
+			t.Errorf("shadowLimit(%v) = %d, want %d", c.frac, got, c.want)
+		}
+	}
+	// Every fraction in (0,1) stays strictly inside the uint64 range.
+	for _, f := range []float64{1e-18, 0.1, 0.9, 0.999999, math.Nextafter(1, 0)} {
+		got := shadowLimit(f)
+		if got == 0 {
+			t.Errorf("shadowLimit(%v) = 0; positive fraction lost all hash space", f)
+		}
 	}
 }

@@ -28,6 +28,7 @@ type statuszData struct {
 	Reasons   []unreadyReason
 	SLOs      []sloRow
 	Models    []modelRow
+	Retrains  []retrainState
 	Routes    []routeRow
 	Alerts    []obs.Alert
 	Windows   string // window labels legend, e.g. "1m / 5m / 1h"
@@ -128,6 +129,25 @@ svg.spark { vertical-align: middle; }
 {{end}}
 </table>
 {{else}}<p class="muted">no models loaded</p>{{end}}
+
+{{if .Retrains}}
+<h2>Retraining</h2>
+<table>
+<tr><th>model</th><th>state</th><th class="num">attempts</th><th class="num">generation</th><th>firing since</th><th>cooldown until</th><th>last outcome</th><th class="num">last size</th><th>last error</th></tr>
+{{range .Retrains}}
+<tr>
+<td>{{.Model}}</td>
+<td>{{if eq .Status "retraining"}}<span class="bad">retraining</span>{{else if eq .Status "drift_pending"}}<span class="bad">drift pending</span>{{else}}{{.Status}}{{end}}</td>
+<td class="num">{{.Attempts}}</td>
+<td class="num">{{.Generation}}</td>
+<td>{{.FiringSince}}</td><td>{{.Cooldown}}</td>
+<td>{{if eq .LastOutcome "success"}}<span class="ok">success</span>{{else}}{{.LastOutcome}}{{end}}</td>
+<td class="num">{{if .LastSize}}{{.LastSize}}{{end}}</td>
+<td class="muted">{{.LastError}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 
 <h2>Routes (windows: {{.Windows}}; quantiles over 5m; sparkline: requests per 10s over 1h)</h2>
 <table>
@@ -256,6 +276,7 @@ func (s *Server) statuszData() statuszData {
 		}
 		d.Models = append(d.Models, row)
 	}
+	d.Retrains = s.retrain.states()
 
 	routeNames := make([]string, 0, len(s.wRoutes))
 	for r := range s.wRoutes {

@@ -153,6 +153,74 @@ grep -q "shut down cleanly" "$smoke_dir/predserve.log"
 # The access log (default: stderr) must have JSON lines with request ids.
 grep -q '"id":' "$smoke_dir/predserve.log"
 
+echo "== retrain smoke =="
+# Closed-loop lifecycle: serve a deliberately weak model (8-point fit)
+# with full shadow verification and a drift threshold its real error is
+# certain to exceed, then let the retrain controller rebuild it at an
+# escalated sample size and hot-swap the winner.
+mkdir "$smoke_dir/models2"
+go run ./cmd/predperf -bench mcf -insts 2000 -sample 8 -lhs 4 -test 2 \
+    -save "$smoke_dir/models2/mcf.json" > /dev/null
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models2" \
+    -shadow-frac 1.0 -shadow-workers 1 -search-insts 2000 \
+    -shadow-err-pct 0.5 \
+    -retrain -retrain-sizes 16 -retrain-target-pct 10000 \
+    -retrain-after 1ms -retrain-poll 200ms -retrain-cooldown 1m \
+    -retrain-test-points 6 -retrain-workers 2 \
+    > "$smoke_dir/retrain.log" 2>&1 &
+smoke_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^predserve: listening on //p' "$smoke_dir/retrain.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "predserve (retrain smoke) did not start:" >&2
+    cat "$smoke_dir/retrain.log" >&2
+    exit 1
+fi
+# One batch of 12 distinct configurations: enough shadow samples to
+# cross the drift minimum (10) in a single request.
+retrain_cfgs=""
+for rob in 32 48 64 80 96 112 128 144 160 176 192 208; do
+    cfg="{\"depth\":14,\"rob\":$rob,\"iq\":$((rob / 2)),\"lsq\":$((rob / 2)),\"l2kb\":1024,\"l2lat\":12,\"il1kb\":32,\"dl1kb\":32,\"dl1lat\":2}"
+    retrain_cfgs="$retrain_cfgs${retrain_cfgs:+,}$cfg"
+done
+curl -fsS -X POST "http://$addr/v1/predict" \
+    -d "{\"model\":\"mcf\",\"configs\":[$retrain_cfgs]}" | grep -q '"value"'
+# Drift fires, the controller rebuilds at size 16, and the success
+# counter appears in the Prometheus export.
+retrain_ok=""
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/metricz?format=prom" > "$smoke_dir/retrain.prom"
+    if grep -q 'serve_retrains{model="mcf",outcome="success"}' "$smoke_dir/retrain.prom"; then
+        retrain_ok=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$retrain_ok" ]; then
+    echo "serve_retrains success counter never appeared:" >&2
+    cat "$smoke_dir/retrain.log" >&2
+    tail -20 "$smoke_dir/retrain.prom" >&2
+    exit 1
+fi
+# The swap cleared the drift (fresh window for the new generation), so
+# readiness recovers, and the listing shows the retrained generation at
+# the escalated sample size.
+curl -fsS "http://$addr/readyz" | grep -q '"ready"'
+curl -fsS "http://$addr/v1/models" > "$smoke_dir/retrain-models.json"
+grep -q '"generation": 2' "$smoke_dir/retrain-models.json"
+grep -q '"sample_size": 16' "$smoke_dir/retrain-models.json"
+# The retrained model was persisted back into the model directory.
+grep -q '"sample_size": 16' "$smoke_dir/models2/mcf.json" ||
+    grep -q '"sample_size":16' "$smoke_dir/models2/mcf.json"
+kill -TERM "$smoke_pid"
+wait "$smoke_pid"
+smoke_pid=""
+grep -q "shut down cleanly" "$smoke_dir/retrain.log"
+
 echo "== obs overhead report =="
 go run ./cmd/benchobs -iters 100000 -repeats 1 -sample 20 -insts 5000 \
     -out "$smoke_dir/BENCH_obs.json" > /dev/null
