@@ -39,6 +39,7 @@ import (
 
 	"predperf"
 	"predperf/internal/adaptive"
+	"predperf/internal/cluster"
 	"predperf/internal/core"
 	"predperf/internal/obs"
 )
@@ -64,6 +65,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the build (load in chrome://tracing) to this file")
 	progress := flag.Bool("progress", false, "print periodic pipeline counters to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	simWorkers := flag.String("sim-workers", "", "comma-separated simworker base URLs; when set, every simulation fans out to the evaluation farm instead of running in-process (the built model is bit-identical)")
 	flag.Parse()
 
 	if *report != "" || *progress || *pprofAddr != "" || *traceFile != "" {
@@ -95,25 +97,40 @@ func main() {
 		}()
 	}
 
-	var metric core.Metric
-	switch strings.ToLower(*metricName) {
-	case "cpi":
-		metric = core.MetricCPI
-	case "epi":
-		metric = core.MetricEPI
-	case "edp":
-		metric = core.MetricEDP
-	case "power":
-		metric = core.MetricPower
-	default:
-		log.Fatalf("unknown metric %q (want cpi, epi, edp, or power)", *metricName)
-	}
-
-	base, err := core.NewSimEvaluator(*bench, *insts)
+	metric, err := core.ParseMetric(*metricName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev := base.WithMetric(metric)
+
+	// The evaluator is either the in-process simulator or a view onto
+	// the distributed evaluation farm; both are deterministic, so the
+	// model built downstream is bit-identical either way.
+	var (
+		ev      core.Evaluator
+		sims    func() int
+		evalErr = func() error { return nil }
+	)
+	if *simWorkers != "" {
+		var urls []string
+		for _, u := range strings.Split(*simWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		pool, err := cluster.NewPool(urls, cluster.PoolOptions{})
+		if err != nil {
+			log.Fatalf("-sim-workers: %v", err)
+		}
+		remote := cluster.NewRemoteEvaluator(pool, *bench, *insts, cluster.RemoteOptions{Metric: metric})
+		ev, sims, evalErr = remote, remote.Simulations, remote.Err
+		fmt.Printf("evaluation farm: %s\n", strings.Join(pool.Workers(), ", "))
+	} else {
+		base, err := core.NewSimEvaluator(*bench, *insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, sims = base.WithMetric(metric), base.Simulations
+	}
 	opt := predperf.Options{LHSCandidates: *candidates, Seed: *seed, Parallel: *parallel}
 
 	var m *predperf.Model
@@ -170,7 +187,12 @@ func main() {
 	st := m.Validate(ts)
 	fmt.Printf("  validation (%d random points): mean %.2f%%, max %.2f%%, std %.2f%%\n",
 		st.N, st.Mean, st.Max, st.Std)
-	fmt.Printf("  simulations run    : %d\n", base.Simulations())
+	fmt.Printf("  simulations run    : %d\n", sims())
+	// A farm failure surfaces as NaN evaluations; refuse to go on (and
+	// in particular to persist) a model that may rest on missing data.
+	if err := evalErr(); err != nil {
+		log.Fatalf("remote evaluation failed: %v", err)
+	}
 
 	if *linear {
 		lm, err := predperf.BuildLinearCtx(buildCtx, ev, *sampleSize, opt)

@@ -1,0 +1,113 @@
+// Command predrouter fronts a fleet of predserve shards: models are
+// consistent-hash assigned to shards, prediction and search traffic is
+// routed to the owning shard, and a shard failure fails over to the
+// ring's secondary without the client noticing.
+//
+// Usage:
+//
+//	predserve -addr 127.0.0.1:9201 -models models   # shard A
+//	predserve -addr 127.0.0.1:9202 -models models   # shard B
+//	predrouter -shards 127.0.0.1:9201,127.0.0.1:9202
+//
+//	curl -X POST localhost:9300/v1/predict -d \
+//	  '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}'
+//	curl localhost:9300/v1/models            # merged listing across shards
+//	curl localhost:9300/statusz              # topology: shard health + model placement
+//
+// The router polls every shard's /v1/models on -sync-every; the model
+// generation vector piggybacked on those responses detects hot swaps
+// (a load or retrain bumps the generation), and the router re-syncs the
+// model's secondary shard with POST /v1/models/load so failover keeps
+// serving current coefficients. This assumes the shards share the
+// -models directory (bind mount, NFS, or same host).
+//
+// POST /v1/models/load through the router fans the load to the model's
+// primary and secondary shards — both must host it for failover to
+// work. 4xx answers from a shard are authoritative and relayed as-is;
+// only transport errors, timeouts, and 5xx trigger failover.
+//
+// SIGINT/SIGTERM drains in-flight requests (deadline -drain) and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"predperf/internal/cluster"
+	"predperf/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predrouter: ")
+
+	addr := flag.String("addr", "127.0.0.1:9300", "listen address (port 0 picks a free port)")
+	shards := flag.String("shards", "", "comma-separated predserve shard base URLs (required)")
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per shard on the consistent-hash ring")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-attempt deadline against one shard")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	syncEvery := flag.Duration("sync-every", 5*time.Second, "cadence of the /v1/models topology poll driving replica re-sync")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	var urls []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			urls = append(urls, s)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("-shards is required (comma-separated predserve base URLs)")
+	}
+
+	obs.Enable()
+
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Shards:         urls,
+		Replicas:       *replicas,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		SyncInterval:   *syncEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ring: %s", strings.Join(rt.Ring().Shards(), ", "))
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts using -addr :0 can
+	// discover the port.
+	fmt.Printf("predrouter: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rt.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (deadline %s)", *drain)
+		if err := rt.Shutdown(*drain); err != nil {
+			log.Fatalf("drain failed: %v", err)
+		}
+		<-serveErr
+		log.Print("shut down cleanly")
+	}
+}

@@ -69,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"predperf/internal/cluster"
 	"predperf/internal/obs"
 	"predperf/internal/serve"
 )
@@ -127,6 +128,7 @@ func main() {
 	retrainPoll := flag.Duration("retrain-poll", 10*time.Second, "drift-state poll cadence of the retrain controller")
 	retrainTestPoints := flag.Int("retrain-test-points", 24, "simulator-backed test points driving the retrain stopping rule")
 	retrainWorkers := flag.Int("retrain-workers", 1, "worker goroutines for one background retrain build")
+	simWorkers := flag.String("sim-workers", "", "comma-separated simworker base URLs; when set, search verification, shadow re-simulation, and retrain builds fan out to the evaluation farm instead of simulating in-process")
 	flag.Parse()
 
 	if *version {
@@ -175,6 +177,22 @@ func main() {
 		accessW = f
 	}
 
+	var simPool *cluster.Pool
+	if *simWorkers != "" {
+		var urls []string
+		for _, u := range strings.Split(*simWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var err error
+		simPool, err = cluster.NewPool(urls, cluster.PoolOptions{})
+		if err != nil {
+			log.Fatalf("-sim-workers: %v", err)
+		}
+		log.Printf("sim-worker pool: %s", strings.Join(simPool.Workers(), ", "))
+	}
+
 	srv := serve.New(serve.Options{
 		MaxBodyBytes:   *maxBody,
 		Timeout:        *timeout,
@@ -204,6 +222,8 @@ func main() {
 		RetrainPoll:          *retrainPoll,
 		RetrainTestPoints:    *retrainTestPoints,
 		RetrainWorkers:       *retrainWorkers,
+
+		SimPool: simPool,
 	})
 	if *retrain && *shadowFrac <= 0 {
 		log.Print("warning: -retrain has no trigger without shadow monitoring; set -shadow-frac > 0")

@@ -1,0 +1,95 @@
+// Command simworker serves the cycle-level simulator over HTTP: one
+// node of the distributed evaluation farm. A builder (predperf
+// -sim-workers) or a serving host (predserve -sim-workers) sends
+// batches of processor configurations to POST /v1/eval and gets back
+// the simulated metric for each — bit-identical to simulating locally,
+// because the simulator is deterministic.
+//
+// Usage:
+//
+//	simworker -addr 127.0.0.1:0        # random port, printed on stdout
+//	simworker -addr 0.0.0.0:9101      # fixed port
+//
+//	curl -X POST localhost:9101/v1/eval -d \
+//	  '{"benchmark":"mcf","trace_len":50000,"configs":[{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}]}'
+//	curl localhost:9101/healthz
+//	curl localhost:9101/metricz?format=prom
+//
+// Evaluators are memoized per (benchmark, trace length) with the same
+// single-flight simulation cache a local build uses, so repeated
+// requests for hot configurations cost one simulation total. /statusz
+// is a small HTML page listing the loaded evaluators; /metricz exports
+// the cluster.worker_* counters and histograms.
+//
+// SIGINT/SIGTERM drains in-flight requests (deadline -drain) and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"predperf/internal/cluster"
+	"predperf/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simworker: ")
+
+	addr := flag.String("addr", "127.0.0.1:9101", "listen address (port 0 picks a free port)")
+	id := flag.String("id", "", "worker identity in responses and /statusz (default: the listen address)")
+	maxBatch := flag.Int("max-batch", 4096, "configurations allowed in one eval request")
+	maxBody := flag.Int64("max-body", 4<<20, "request body size limit in bytes")
+	maxInsts := flag.Int("max-insts", 10_000_000, "longest trace (dynamic instructions) a request may demand")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request deadline")
+	workers := flag.Int("workers", 0, "goroutines evaluating one batch (0 = all CPUs)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	obs.Enable()
+
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		ID:           *id,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+		MaxTraceLen:  *maxInsts,
+		Timeout:      *timeout,
+		Workers:      *workers,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts using -addr :0 can
+	// discover the port.
+	fmt.Printf("simworker: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- w.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (deadline %s)", *drain)
+		if err := w.Shutdown(*drain); err != nil {
+			log.Fatalf("drain failed: %v", err)
+		}
+		<-serveErr
+		log.Print("shut down cleanly")
+	}
+}

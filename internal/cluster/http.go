@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"predperf/internal/obs"
+)
+
+// Shared HTTP plumbing for both cluster roles, mirroring internal/serve:
+// the same structured {"error":{code,message}} bodies, the same
+// X-Request-Id read/generate/echo convention, and per-role latency
+// histograms — so a request keeps one identity across every hop of the
+// cluster (client → router → shard, or builder → worker).
+
+// RequestIDHeader is the header every cluster role reads, echoes, and
+// forwards; it doubles as the request's trace ID.
+const RequestIDHeader = "X-Request-Id"
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]apiError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s requires %s, got %s", r.URL.Path, method, r.Method)
+		return false
+	}
+	return true
+}
+
+// readJSON decodes a size-capped request body into v, writing the
+// structured error response and returning false on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleMetricz serves the process's obs registry as JSON or Prometheus
+// text, identically on every cluster role.
+func handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "prom", "prometheus":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		obs.Snapshot().Write(w)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			`unknown metrics format %q (want "json" or "prom")`, format)
+	}
+}
+
+// withRequestID assigns (or respects) the request ID, attaches a
+// request-scoped trace, and echoes the ID on the response — the same
+// contract as predserve's middleware, so an ID minted at the edge
+// survives router → shard and builder → worker hops intact.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(id)))
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,771 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+)
+
+// Client-side farm observability: how often the pool asked a worker for
+// work, how often it had to retry or hedge, and the health transitions
+// of the worker set. Per-worker request latency feeds both /statusz and
+// the hedging policy's local tracker.
+var (
+	cPoolRequests     = obs.NewCounter("cluster.pool_requests")
+	cPoolRetries      = obs.NewCounter("cluster.retries")
+	cPoolHedges       = obs.NewCounter("cluster.hedges")
+	cPoolHedgeWins    = obs.NewCounter("cluster.hedge_wins")
+	cPoolEvictions    = obs.NewCounter("cluster.evictions")
+	cPoolReadmissions = obs.NewCounter("cluster.readmissions")
+	cPoolFailures     = obs.NewCounter("cluster.eval_failures")
+	cRemoteEvals      = obs.NewCounter("cluster.remote_evals")
+	cRemoteCacheHits  = obs.NewCounter("cluster.remote_cache_hits")
+	hPoolLatency      = obs.NewHistogramVec("cluster.worker_request_seconds", obs.DefLatencyBuckets, "worker")
+)
+
+// PoolOptions tunes the client side of the evaluation farm. Zero values
+// take production defaults.
+type PoolOptions struct {
+	// MaxInflight bounds concurrent requests per worker; excess callers
+	// block on the worker's slot (default 4).
+	MaxInflight int
+	// RequestTimeout bounds one attempt against one worker (default 2m;
+	// a cold batch of simulations is slow but not unbounded).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the attempts for one evaluation across the
+	// whole pool before the caller sees the error (default
+	// max(4, 2 × workers)).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; subsequent retries
+	// double it up to MaxBackoff, each with full jitter (default 50ms,
+	// capped at 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeQuantile launches a duplicate request on a second worker
+	// when the first has been in flight longer than this quantile of
+	// recently observed latencies (default 0.95; negative disables
+	// hedging). The first response wins; the duplicate's simulation is
+	// memoized server-side, so waste is bounded.
+	HedgeQuantile float64
+	// HedgeMin is the floor for the hedge delay, so fast fleets do not
+	// hedge on scheduling noise (default 100ms).
+	HedgeMin time.Duration
+	// EvictAfter is the consecutive-failure count that evicts a worker
+	// from rotation (default 3).
+	EvictAfter int
+	// ReadmitAfter is how long an evicted worker rests before a live
+	// request probes it for readmission (default 5s).
+	ReadmitAfter time.Duration
+	// BatchChunk splits a large evaluation batch into per-worker
+	// requests of this size so one batch fans out across the farm
+	// (default 64).
+	BatchChunk int
+	// Client overrides the HTTP client (default: a dedicated client
+	// with sane connection pooling).
+	Client *http.Client
+}
+
+func (o PoolOptions) withDefaults(workers int) PoolOptions {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2 * workers
+		if o.MaxAttempts < 4 {
+			o.MaxAttempts = 4
+		}
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.HedgeQuantile == 0 {
+		o.HedgeQuantile = 0.95
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 100 * time.Millisecond
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 3
+	}
+	if o.ReadmitAfter <= 0 {
+		o.ReadmitAfter = 5 * time.Second
+	}
+	if o.BatchChunk <= 0 {
+		o.BatchChunk = 64
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: o.MaxInflight,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return o
+}
+
+// permanentError marks a failure retrying cannot fix (the worker
+// understood the request and rejected it).
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// workerConn is the pool's view of one worker: its in-flight slots and
+// its health state.
+type workerConn struct {
+	url string
+	sem chan struct{}
+
+	mu        sync.Mutex
+	fails     int // consecutive failures
+	evicted   bool
+	evictedAt time.Time
+
+	ok   atomic.Int64 // total successful requests
+	errs atomic.Int64 // total failed requests
+}
+
+// available reports whether the worker may take a request now: healthy,
+// or evicted long enough ago that a readmission probe is due.
+func (w *workerConn) available(now time.Time, readmitAfter time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.evicted || now.Sub(w.evictedAt) >= readmitAfter
+}
+
+// Pool is a health-gated set of sim workers. It owns worker selection
+// (round-robin over available workers), bounded in-flight slots,
+// retries with jittered exponential backoff, latency-quantile hedging,
+// and eviction/readmission.
+type Pool struct {
+	opt     PoolOptions
+	workers []*workerConn
+	rr      atomic.Uint64
+
+	// latMu guards the sliding latency sample feeding the hedge delay.
+	latMu   sync.Mutex
+	lats    []float64 // seconds; ring buffer
+	latNext int
+	latFull bool
+}
+
+// hedgeSamples is how many recent latencies the hedge-delay quantile is
+// computed over, and hedgeWarmup how many must exist before hedging
+// arms at all.
+const (
+	hedgeSamples = 256
+	hedgeWarmup  = 16
+)
+
+// NewPool builds a pool over the given worker base URLs (scheme
+// optional; "host:port" is normalized to "http://host:port").
+func NewPool(urls []string, opt PoolOptions) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("cluster: a worker pool needs at least one worker URL")
+	}
+	opt = opt.withDefaults(len(urls))
+	p := &Pool{opt: opt, lats: make([]float64, hedgeSamples)}
+	seen := map[string]bool{}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, errors.New("cluster: empty worker URL")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %s", u)
+		}
+		seen[u] = true
+		p.workers = append(p.workers, &workerConn{
+			url: u,
+			sem: make(chan struct{}, opt.MaxInflight),
+		})
+	}
+	return p, nil
+}
+
+// Workers lists the pool's worker URLs in configuration order.
+func (p *Pool) Workers() []string {
+	out := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.url
+	}
+	return out
+}
+
+// pick selects the next worker round-robin among available ones,
+// skipping exclude (the hedge's primary). When nothing is available it
+// falls back to the least-recently-evicted worker: a fully dark farm
+// should keep probing rather than deadlock.
+func (p *Pool) pick(exclude *workerConn) *workerConn {
+	now := time.Now()
+	n := len(p.workers)
+	start := int(p.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		w := p.workers[(start+i)%n]
+		if w == exclude {
+			continue
+		}
+		if w.available(now, p.opt.ReadmitAfter) {
+			return w
+		}
+	}
+	var oldest *workerConn
+	for _, w := range p.workers {
+		if w == exclude {
+			continue
+		}
+		w.mu.Lock()
+		at := w.evictedAt
+		w.mu.Unlock()
+		if oldest == nil || at.Before(oldestEvictedAt(oldest)) {
+			oldest = w
+		}
+	}
+	if oldest == nil {
+		return exclude // single-worker pool hedging against itself
+	}
+	return oldest
+}
+
+func oldestEvictedAt(w *workerConn) time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.evictedAt
+}
+
+// succeed records a successful request: latency lands in the hedge
+// tracker and the per-worker histogram, and an evicted worker that
+// answered a probe is readmitted.
+func (p *Pool) succeed(w *workerConn, d time.Duration) {
+	w.ok.Add(1)
+	hPoolLatency.With(w.url).Observe(d.Seconds())
+	p.latMu.Lock()
+	p.lats[p.latNext] = d.Seconds()
+	p.latNext = (p.latNext + 1) % len(p.lats)
+	if p.latNext == 0 {
+		p.latFull = true
+	}
+	p.latMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	if w.evicted {
+		w.evicted = false
+		cPoolReadmissions.Inc()
+	}
+}
+
+// fail records a failed request; EvictAfter consecutive failures evict
+// the worker, and a failed readmission probe restarts its rest period.
+func (p *Pool) fail(w *workerConn) {
+	w.errs.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	if w.evicted {
+		w.evictedAt = time.Now()
+		return
+	}
+	if w.fails >= p.opt.EvictAfter {
+		w.evicted = true
+		w.evictedAt = time.Now()
+		cPoolEvictions.Inc()
+	}
+}
+
+// hedgeDelay computes the current hedge trigger: the configured
+// quantile of recent request latencies, floored at HedgeMin. Returns
+// false while hedging is disabled or the sample is too small to trust.
+func (p *Pool) hedgeDelay() (time.Duration, bool) {
+	if p.opt.HedgeQuantile < 0 || len(p.workers) < 2 {
+		return 0, false
+	}
+	p.latMu.Lock()
+	n := p.latNext
+	if p.latFull {
+		n = len(p.lats)
+	}
+	if n < hedgeWarmup {
+		p.latMu.Unlock()
+		return 0, false
+	}
+	sample := make([]float64, n)
+	copy(sample, p.lats[:n])
+	p.latMu.Unlock()
+	sort.Float64s(sample)
+	idx := int(p.opt.HedgeQuantile * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	d := time.Duration(sample[idx] * float64(time.Second))
+	if d < p.opt.HedgeMin {
+		d = p.opt.HedgeMin
+	}
+	return d, true
+}
+
+// attemptResult carries one worker attempt's outcome back to the
+// hedging selector.
+type attemptResult struct {
+	res    *EvalResponse
+	err    error
+	worker *workerConn
+	hedge  bool
+}
+
+// attempt runs one request against one worker: acquire an in-flight
+// slot, POST the body with the per-attempt deadline, parse the answer.
+func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bool, out chan<- attemptResult) {
+	send := func(res *EvalResponse, err error) {
+		out <- attemptResult{res: res, err: err, worker: w, hedge: hedge}
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		send(nil, ctx.Err())
+		return
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, p.opt.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, w.url+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		send(nil, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		req.Header.Set(RequestIDHeader, tr.ID())
+	}
+	t0 := time.Now()
+	resp, err := p.opt.Client.Do(req)
+	if err != nil {
+		p.fail(w)
+		send(nil, fmt.Errorf("cluster: worker %s: %w", w.url, err))
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		p.fail(w)
+		send(nil, fmt.Errorf("cluster: worker %s: reading response: %w", w.url, err))
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("cluster: worker %s answered %d: %s", w.url, resp.StatusCode, truncate(raw, 200))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			// The request itself is wrong; no worker will accept it.
+			// 4xx does not indict the worker's health.
+			send(nil, permanentError{err})
+			return
+		}
+		p.fail(w)
+		send(nil, err)
+		return
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		p.fail(w)
+		send(nil, fmt.Errorf("cluster: worker %s: bad response body: %w", w.url, err))
+		return
+	}
+	p.succeed(w, time.Since(t0))
+	send(&er, nil)
+}
+
+func truncate(b []byte, n int) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// tryOnce runs one logical attempt with hedging: the primary request
+// goes to the next available worker, and if it is still in flight past
+// the hedge delay a duplicate goes to a second worker; the first
+// response (or first permanent error) wins.
+func (p *Pool) tryOnce(ctx context.Context, body []byte) (*EvalResponse, error) {
+	primary := p.pick(nil)
+	results := make(chan attemptResult, 2)
+	go p.attempt(ctx, primary, body, false, results)
+	launched := 1
+
+	var hedgeC <-chan time.Time
+	if d, ok := p.hedgeDelay(); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for received := 0; received < launched; {
+		select {
+		case r := <-results:
+			received++
+			if r.err == nil {
+				if r.hedge {
+					cPoolHedgeWins.Inc()
+				}
+				return r.res, nil
+			}
+			var perm permanentError
+			if errors.As(r.err, &perm) {
+				return nil, r.err
+			}
+			lastErr = r.err
+		case <-hedgeC:
+			hedgeC = nil
+			if second := p.pick(primary); second != nil && second != primary {
+				cPoolHedges.Inc()
+				go p.attempt(ctx, second, body, true, results)
+				launched++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// EvalChunk evaluates one chunk of configurations on the farm: retries
+// with jittered exponential backoff across workers on transient
+// failures, gives up immediately on permanent (4xx) rejections, and
+// returns the number of simulations the farm ran for it.
+func (p *Pool) EvalChunk(ctx context.Context, req EvalRequest) ([]float64, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	cPoolRequests.Inc()
+	var lastErr error
+	backoff := p.opt.BaseBackoff
+	for a := 0; a < p.opt.MaxAttempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if a > 0 {
+			cPoolRetries.Inc()
+			// Full jitter: a uniformly random fraction of the doubled
+			// backoff decorrelates retry storms across concurrent evals.
+			d := time.Duration(rand.Int63n(int64(backoff) + 1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+			if backoff *= 2; backoff > p.opt.MaxBackoff {
+				backoff = p.opt.MaxBackoff
+			}
+		}
+		res, err := p.tryOnce(ctx, body)
+		if err == nil {
+			if len(res.Values) != len(req.Configs) {
+				lastErr = fmt.Errorf("cluster: worker answered %d values for %d configs", len(res.Values), len(req.Configs))
+				continue
+			}
+			return res.Values, res.Sims, nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			cPoolFailures.Inc()
+			return nil, 0, err
+		}
+		lastErr = err
+	}
+	cPoolFailures.Inc()
+	return nil, 0, fmt.Errorf("cluster: evaluation failed after %d attempts: %w", p.opt.MaxAttempts, lastErr)
+}
+
+// WorkerStatus is one row of the pool's topology snapshot.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Evicted  bool   `json:"evicted"`
+	Fails    int    `json:"consecutive_fails"`
+	Inflight int    `json:"inflight"`
+	OK       int64  `json:"requests_ok"`
+	Errors   int64  `json:"requests_failed"`
+}
+
+// Snapshot reports every worker's health for /statusz and /healthz
+// surfaces.
+func (p *Pool) Snapshot() []WorkerStatus {
+	out := make([]WorkerStatus, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		out[i] = WorkerStatus{
+			URL:      w.url,
+			Evicted:  w.evicted,
+			Fails:    w.fails,
+			Inflight: len(w.sem),
+			OK:       w.ok.Load(),
+			Errors:   w.errs.Load(),
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// ---- RemoteEvaluator ----
+
+// remoteEntry is the single-flight slot for one configuration, mirroring
+// core's simEntry; ok distinguishes a published value from a failed
+// fetch (failures are forgotten so a later Eval retries).
+type remoteEntry struct {
+	done chan struct{}
+	val  float64
+	ok   bool
+}
+
+// RemoteOptions configures a RemoteEvaluator view.
+type RemoteOptions struct {
+	// Metric selects the response, as on core.SimEvaluator.
+	Metric core.Metric
+	// Ctx bounds every remote call the evaluator makes (default
+	// context.Background()); cancel it to stop a build mid-flight.
+	Ctx context.Context
+	// Fallback, when non-nil, evaluates locally after the farm
+	// exhausts its attempts — availability over offload.
+	Fallback core.Evaluator
+}
+
+// RemoteEvaluator implements core.Evaluator over a worker pool: the
+// scale-out seam the ROADMAP names. Results are memoized with the same
+// single-flight discipline as core.SimEvaluator, and since workers run
+// the identical deterministic simulator, a model built through a
+// RemoteEvaluator is bit-identical to one built in-process.
+//
+// Eval cannot return an error (the interface stands in for a local
+// simulator); when the farm is exhausted and no Fallback is configured
+// it returns NaN and records the failure — check Err after a build.
+type RemoteEvaluator struct {
+	Benchmark string
+	TraceLen  int
+
+	pool     *Pool
+	metric   core.Metric
+	ctx      context.Context
+	fallback core.Evaluator
+
+	mu    sync.Mutex
+	cache map[string]*remoteEntry
+	evals int // distinct configurations fetched (cache misses completed)
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewRemoteEvaluator builds a farm-backed evaluator for one benchmark
+// and trace length.
+func NewRemoteEvaluator(pool *Pool, benchmark string, traceLen int, opt RemoteOptions) *RemoteEvaluator {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &RemoteEvaluator{
+		Benchmark: benchmark,
+		TraceLen:  traceLen,
+		pool:      pool,
+		metric:    opt.Metric,
+		ctx:       ctx,
+		fallback:  opt.Fallback,
+		cache:     map[string]*remoteEntry{},
+	}
+}
+
+var _ core.Evaluator = (*RemoteEvaluator)(nil)
+
+// Eval returns the metric for cfg, asking the farm on a cache miss.
+// Concurrent misses on the same configuration single-flight: the losers
+// wait for the winner's network round trip instead of duplicating it.
+func (e *RemoteEvaluator) Eval(cfg design.Config) float64 {
+	key := cfg.Key()
+	for {
+		e.mu.Lock()
+		ent, ok := e.cache[key]
+		if !ok {
+			ent = &remoteEntry{done: make(chan struct{})}
+			e.cache[key] = ent
+			e.mu.Unlock()
+			e.fetch(key, ent, cfg)
+			return ent.val
+		}
+		e.mu.Unlock()
+		cRemoteCacheHits.Inc()
+		select {
+		case <-ent.done:
+		case <-e.ctx.Done():
+			e.recordErr(e.ctx.Err())
+			return math.NaN()
+		}
+		if ent.ok {
+			return ent.val
+		}
+		// The winner failed and removed the entry; retry as a fresh
+		// miss (the backoff already happened inside the pool).
+		if err := e.ctx.Err(); err != nil {
+			e.recordErr(err)
+			return math.NaN()
+		}
+	}
+}
+
+// fetch resolves one cache miss. On success the value is published; on
+// failure the entry is removed so a later Eval can retry, the error is
+// recorded, and NaN (or the fallback's answer) is published to current
+// waiters.
+func (e *RemoteEvaluator) fetch(key string, ent *remoteEntry, cfg design.Config) {
+	defer close(ent.done)
+	cRemoteEvals.Inc()
+	vals, _, err := e.pool.EvalChunk(e.ctx, EvalRequest{
+		Benchmark: e.Benchmark,
+		TraceLen:  e.TraceLen,
+		Metric:    strings.ToLower(e.metric.String()),
+		Configs:   []WireConfig{FromConfig(cfg)},
+	})
+	if err == nil {
+		ent.val, ent.ok = vals[0], true
+		e.mu.Lock()
+		e.evals++
+		e.mu.Unlock()
+		return
+	}
+	e.recordErr(err)
+	if e.fallback != nil {
+		ent.val, ent.ok = e.fallback.Eval(cfg), true
+		e.mu.Lock()
+		e.evals++
+		e.mu.Unlock()
+		return
+	}
+	ent.val = math.NaN()
+	e.mu.Lock()
+	delete(e.cache, key)
+	e.mu.Unlock()
+}
+
+// EvalBatch evaluates a batch of configurations, fanning cache misses
+// across the farm in BatchChunk-sized concurrent requests. Results are
+// positionally stable and bit-identical to per-config Eval calls.
+func (e *RemoteEvaluator) EvalBatch(cfgs []design.Config) ([]float64, error) {
+	out := make([]float64, len(cfgs))
+	missIdx := make([]int, 0, len(cfgs))
+	e.mu.Lock()
+	for i, cfg := range cfgs {
+		if ent, ok := e.cache[cfg.Key()]; ok && ent.ok {
+			out[i] = ent.val
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	e.mu.Unlock()
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	chunk := e.pool.opt.BatchChunk
+	nChunks := (len(missIdx) + chunk - 1) / chunk
+	errs := make([]error, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(missIdx) {
+			hi = len(missIdx)
+		}
+		wg.Add(1)
+		go func(c int, idx []int) {
+			defer wg.Done()
+			req := EvalRequest{
+				Benchmark: e.Benchmark,
+				TraceLen:  e.TraceLen,
+				Metric:    strings.ToLower(e.metric.String()),
+				Configs:   make([]WireConfig, len(idx)),
+			}
+			for a, i := range idx {
+				req.Configs[a] = FromConfig(cfgs[i])
+			}
+			vals, _, err := e.pool.EvalChunk(e.ctx, req)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			e.mu.Lock()
+			for a, i := range idx {
+				out[i] = vals[a]
+				key := cfgs[i].Key()
+				if _, ok := e.cache[key]; !ok {
+					ent := &remoteEntry{done: make(chan struct{}), val: vals[a], ok: true}
+					close(ent.done)
+					e.cache[key] = ent
+					e.evals++
+				}
+			}
+			e.mu.Unlock()
+		}(c, missIdx[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			e.recordErr(err)
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (e *RemoteEvaluator) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+}
+
+// Err reports the first remote failure the evaluator swallowed into a
+// NaN (or served from the fallback). A build driver should check it:
+// a non-nil error means the built model may rest on incomplete data.
+func (e *RemoteEvaluator) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// Simulations reports how many distinct configurations were resolved
+// through the farm (or fallback) — the remote analogue of
+// core.SimEvaluator.Simulations.
+func (e *RemoteEvaluator) Simulations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// Pool exposes the evaluator's pool, e.g. for topology surfaces.
+func (e *RemoteEvaluator) Pool() *Pool { return e.pool }
+
+func (e *RemoteEvaluator) String() string {
+	return fmt.Sprintf("remote(%s, %d insts, %d workers)", e.Benchmark, e.TraceLen, len(e.pool.workers))
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"html/template"
+	"net/http"
+	"time"
+)
+
+// A minimal shared /statusz for the cluster roles: a key/value summary
+// plus tabular sections, self-contained HTML in the same visual idiom
+// as predserve's dashboard. The cluster pages answer one question —
+// what does the topology look like right now — and defer the deep
+// metrics to /metricz.
+
+type statuszKV struct{ Key, Value string }
+
+type statuszRow struct {
+	Cols []string
+	Bad  bool // render the row's state as unhealthy
+}
+
+type statuszSection struct {
+	Title   string
+	Headers []string
+	Rows    []statuszRow
+	Empty   string // shown when Rows is empty
+}
+
+type statuszPage struct {
+	Title    string
+	Role     string
+	Up       time.Duration
+	Summary  []statuszKV
+	Sections []statuszSection
+}
+
+var clusterStatuszTmpl = template.Must(template.New("cluster-statusz").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}} /statusz</title>
+<style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 3px 9px; text-align: left; }
+th { background: #f2f2f2; font-weight: 600; }
+.ok { color: #1a7f37; font-weight: 600; } .bad { color: #b42318; font-weight: 600; }
+.muted { color: #777; }
+tr.bad td { background: #fdeceb; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p><span class="ok">{{.Role}}</span> &middot; up {{.Up}}</p>
+<table>
+{{range .Summary}}<tr><th>{{.Key}}</th><td>{{.Value}}</td></tr>
+{{end}}</table>
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .Rows}}
+<table>
+<tr>{{range .Headers}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr{{if .Bad}} class="bad"{{end}}>{{range .Cols}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{else}}<p class="muted">{{.Empty}}</p>{{end}}
+{{end}}
+<p class="muted">JSON: <a href="/healthz">/healthz</a> &middot; <a href="/metricz">/metricz</a> &middot; <a href="/metricz?format=prom">/metricz?format=prom</a></p>
+</body>
+</html>
+`))
+
+func renderStatusz(w http.ResponseWriter, page statuszPage) {
+	page.Up = page.Up.Round(time.Second)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = clusterStatuszTmpl.Execute(w, page)
+}

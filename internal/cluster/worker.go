@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"predperf/internal/core"
+	"predperf/internal/design"
+	"predperf/internal/obs"
+	"predperf/internal/par"
+)
+
+// Worker-side observability: request and configuration counts, the
+// simulations the farm actually paid for, and evaluation latency per
+// benchmark (the router-side histograms are per worker; the worker-side
+// ones are per workload).
+var (
+	cWorkerEvals   = obs.NewCounter("cluster.worker_eval_requests")
+	cWorkerConfigs = obs.NewCounter("cluster.worker_eval_configs")
+	cWorkerSims    = obs.NewCounter("cluster.worker_sims")
+	cWorkerErrors  = obs.NewCounter("cluster.worker_errors")
+	gWorkerInflt   = obs.NewGauge("cluster.worker_inflight")
+	hWorkerEval    = obs.NewHistogramVec("cluster.worker_eval_seconds", obs.DefLatencyBuckets, "benchmark")
+)
+
+// WorkerOptions configures a sim worker. Zero values take production
+// defaults.
+type WorkerOptions struct {
+	// ID identifies this worker in responses and /statusz (default: the
+	// listener address once Serve is called).
+	ID string
+	// MaxBatch bounds the configurations in one eval request (default
+	// 4096, matching predserve's predict limit).
+	MaxBatch int
+	// MaxBodyBytes bounds a request body (default 4 MiB — eval batches
+	// are bigger than predict bodies).
+	MaxBodyBytes int64
+	// MaxTraceLen bounds the trace length a request may demand, so one
+	// caller cannot pin a worker on an arbitrarily expensive simulation
+	// (default 10M instructions).
+	MaxTraceLen int
+	// Timeout bounds the handling of one request (default 5m: a cold
+	// batch of long simulations is legitimate work).
+	Timeout time.Duration
+	// Workers bounds the goroutines evaluating one batch (default all
+	// CPUs). Results land in fixed slots, so the response is
+	// deterministic for any setting.
+	Workers int
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	if o.MaxTraceLen <= 0 {
+		o.MaxTraceLen = 10_000_000
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Worker serves the cycle-level simulator over HTTP. Evaluators are
+// memoized per (benchmark, trace length) — the same single-flight
+// simulation cache a local build enjoys, so repeated requests for hot
+// configurations cost one simulation total — and every response is
+// bit-identical to evaluating locally.
+type Worker struct {
+	opt   WorkerOptions
+	start time.Time
+	http  *http.Server
+
+	mu  sync.Mutex
+	id  string
+	evs map[string]*core.SimEvaluator // benchmark \x00 traceLen
+}
+
+// NewWorker builds a Worker; it serves nothing until Serve.
+func NewWorker(opt WorkerOptions) *Worker {
+	w := &Worker{opt: opt.withDefaults(), start: time.Now()}
+	w.id = w.opt.ID
+	w.evs = map[string]*core.SimEvaluator{}
+	w.http = &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return w
+}
+
+// evaluator returns (building and memoizing on first use) the evaluator
+// for one benchmark and trace length. Construction errors are returned
+// to the client rather than cached: a worker outliving a transient
+// failure keeps serving.
+func (w *Worker) evaluator(benchmark string, traceLen int) (*core.SimEvaluator, error) {
+	key := benchmark + "\x00" + strconv.Itoa(traceLen)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ev, ok := w.evs[key]; ok {
+		return ev, nil
+	}
+	ev, err := core.NewSimEvaluator(benchmark, traceLen)
+	if err != nil {
+		return nil, err
+	}
+	w.evs[key] = ev
+	return ev, nil
+}
+
+// ID reports the worker's identity (the listener address unless
+// WorkerOptions.ID overrode it).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Handler returns the worker API: /v1/eval, /healthz, /metricz, and a
+// /statusz topology page, wrapped with request-ID propagation and the
+// per-request deadline.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/eval", w.handleEval)
+	mux.HandleFunc("/healthz", w.handleHealthz)
+	mux.HandleFunc("/metricz", handleMetricz)
+	mux.HandleFunc("/statusz", w.handleStatusz)
+	th := http.TimeoutHandler(mux, w.opt.Timeout,
+		`{"error":{"code":"timeout","message":"request exceeded the worker's per-request deadline"}}`)
+	return withRequestID(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(rw, r)
+	}))
+}
+
+func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
+	if !requireMethod(rw, r, http.MethodPost) {
+		return
+	}
+	_, end := obs.StartSpanCtx(r.Context(), "cluster.worker_eval")
+	defer end()
+	gWorkerInflt.Inc()
+	defer gWorkerInflt.Dec()
+	var req EvalRequest
+	if !readJSON(rw, r, w.opt.MaxBodyBytes, &req) {
+		cWorkerErrors.Inc()
+		return
+	}
+	if req.Benchmark == "" {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "bad_request", `"benchmark" is required`)
+		return
+	}
+	if req.TraceLen <= 0 {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "bad_request", `"trace_len" must be positive, got %d`, req.TraceLen)
+		return
+	}
+	if req.TraceLen > w.opt.MaxTraceLen {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "trace_too_long",
+			"trace_len %d exceeds this worker's %d-instruction limit", req.TraceLen, w.opt.MaxTraceLen)
+		return
+	}
+	if len(req.Configs) == 0 {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "bad_request", `"configs" must not be empty`)
+		return
+	}
+	if len(req.Configs) > w.opt.MaxBatch {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"batch of %d exceeds the %d-configuration limit", len(req.Configs), w.opt.MaxBatch)
+		return
+	}
+	metric, err := core.ParseMetric(req.Metric)
+	if err != nil {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	cfgs := make([]design.Config, len(req.Configs))
+	for i, wc := range req.Configs {
+		if err := wc.Validate(); err != nil {
+			cWorkerErrors.Inc()
+			writeErr(rw, http.StatusBadRequest, "invalid_config", "configs[%d]: %v", i, err)
+			return
+		}
+		cfgs[i] = wc.Config()
+	}
+	base, err := w.evaluator(req.Benchmark, req.TraceLen)
+	if err != nil {
+		cWorkerErrors.Inc()
+		writeErr(rw, http.StatusBadRequest, "unknown_benchmark", "%v", err)
+		return
+	}
+	ev := base.WithMetric(metric)
+
+	cWorkerEvals.Inc()
+	cWorkerConfigs.Add(int64(len(cfgs)))
+	t0 := time.Now()
+	simsBefore := base.Simulations()
+	ctx := r.Context()
+	values := make([]float64, len(cfgs))
+	par.For(par.Workers(w.opt.Workers), len(cfgs), func(i int) {
+		// A dead client stops costing simulation time at the next
+		// config boundary; already-filled slots are simply discarded.
+		if ctx.Err() != nil {
+			return
+		}
+		values[i] = ev.Eval(cfgs[i])
+	})
+	if ctx.Err() != nil {
+		cWorkerErrors.Inc()
+		return // the client is gone; nothing can read the response
+	}
+	sims := base.Simulations() - simsBefore
+	cWorkerSims.Add(int64(sims))
+	hWorkerEval.With(req.Benchmark).Observe(time.Since(t0).Seconds())
+	writeJSON(rw, http.StatusOK, EvalResponse{Values: values, Sims: sims, Worker: w.ID()})
+}
+
+// workerLoadedEvaluator is one row of the worker's /healthz and
+// /statusz evaluator tables.
+type workerLoadedEvaluator struct {
+	Benchmark string `json:"benchmark"`
+	TraceLen  int    `json:"trace_len"`
+	Sims      int    `json:"sims"`
+}
+
+func (w *Worker) loaded() []workerLoadedEvaluator {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]workerLoadedEvaluator, 0, len(w.evs))
+	for _, ev := range w.evs {
+		out = append(out, workerLoadedEvaluator{
+			Benchmark: ev.Benchmark, TraceLen: ev.TraceLen, Sims: ev.Simulations(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].TraceLen < out[j].TraceLen
+	})
+	return out
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	if !requireMethod(rw, r, http.MethodGet) {
+		return
+	}
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"role":       "simworker",
+		"worker":     w.ID(),
+		"uptime_sec": int64(time.Since(w.start).Seconds()),
+		"evaluators": w.loaded(),
+		"requests":   cWorkerEvals.Value(),
+		"configs":    cWorkerConfigs.Value(),
+		"sims":       cWorkerSims.Value(),
+	})
+}
+
+func (w *Worker) handleStatusz(rw http.ResponseWriter, r *http.Request) {
+	if !requireMethod(rw, r, http.MethodGet) {
+		return
+	}
+	var rows []statuszRow
+	for _, ev := range w.loaded() {
+		rows = append(rows, statuszRow{
+			Cols: []string{ev.Benchmark, strconv.Itoa(ev.TraceLen), strconv.Itoa(ev.Sims)},
+		})
+	}
+	renderStatusz(rw, statuszPage{
+		Title: "simworker " + w.ID(),
+		Role:  "simworker",
+		Up:    time.Since(w.start),
+		Summary: []statuszKV{
+			{"eval requests", strconv.FormatInt(cWorkerEvals.Value(), 10)},
+			{"configs scored", strconv.FormatInt(cWorkerConfigs.Value(), 10)},
+			{"simulations run", strconv.FormatInt(cWorkerSims.Value(), 10)},
+			{"in flight", strconv.FormatInt(gWorkerInflt.Value(), 10)},
+		},
+		Sections: []statuszSection{{
+			Title:   "Loaded evaluators",
+			Headers: []string{"benchmark", "trace insts", "sims"},
+			Rows:    rows,
+			Empty:   "no evaluators loaded yet — the first /v1/eval builds one",
+		}},
+	})
+}
+
+// Serve accepts connections on l until Shutdown. When no explicit ID
+// was configured, the listener address becomes the worker's identity.
+func (w *Worker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.id == "" {
+		w.id = l.Addr().String()
+	}
+	w.mu.Unlock()
+	err := w.http.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests, waiting at most deadline.
+func (w *Worker) Shutdown(deadline time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	return w.http.Shutdown(ctx)
+}
+
+var _ fmt.Stringer = (*Worker)(nil)
+
+func (w *Worker) String() string { return "simworker(" + w.ID() + ")" }

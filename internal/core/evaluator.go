@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +63,24 @@ func (m Metric) String() string {
 		return "power"
 	default:
 		return "CPI"
+	}
+}
+
+// ParseMetric maps a metric name to its Metric, case-insensitively. It
+// is the inverse of String and accepts the empty string as MetricCPI so
+// wire formats can omit the default.
+func ParseMetric(s string) (Metric, error) {
+	switch strings.ToLower(s) {
+	case "", "cpi":
+		return MetricCPI, nil
+	case "epi":
+		return MetricEPI, nil
+	case "edp":
+		return MetricEDP, nil
+	case "power":
+		return MetricPower, nil
+	default:
+		return MetricCPI, fmt.Errorf("core: unknown metric %q (want cpi, epi, edp, or power)", s)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"predperf/internal/cluster"
 	"predperf/internal/core"
 	"predperf/internal/design"
 	"predperf/internal/obs"
@@ -332,7 +333,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			p, err = s.coalesce.predict(r.Context(), entry, batch[0].config())
 			switch {
 			case errors.Is(err, ErrCoalesceQueueFull):
-				w.Header().Set("Retry-After", "1")
+				// The queue drains within a coalesce window plus one batch
+				// evaluation; hint a retry after that, not a fixed second.
+				w.Header().Set("Retry-After", cluster.RetryAfterSeconds(s.opt.CoalesceWindow))
 				writeErr(w, http.StatusServiceUnavailable, "coalesce_queue_full",
 					"the prediction admission queue is full; retry shortly")
 				return

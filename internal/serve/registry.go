@@ -36,11 +36,23 @@ type Entry struct {
 	// for the entry — while a truly-missing benchmark retries at a
 	// bounded rate instead of hot-looping.
 	simMu      sync.Mutex
-	simEv      *core.SimEvaluator
+	simEv      core.Evaluator
 	simErr     error
 	simLastTry time.Time
 	now        func() time.Time // test hook; nil means time.Now
+
+	// evalFactory builds the entry's evaluator (nil means the local
+	// cycle-level simulator). The registry stamps it at Add time, so a
+	// server configured with a sim-worker pool transparently fans every
+	// simulator consumer — search verification, shadow re-simulation,
+	// retrain builds — out to the farm.
+	evalFactory EvalFactory
 }
+
+// EvalFactory builds an evaluator for a benchmark at a trace length.
+// The default is the in-process core.NewSimEvaluator; a cluster-backed
+// server swaps in a factory returning cluster.RemoteEvaluator views.
+type EvalFactory func(benchmark string, traceLen int) (core.Evaluator, error)
 
 // Generation reports which holder of the registry name this entry is.
 // It increases monotonically across the whole registry: every Add (hot
@@ -64,7 +76,7 @@ var newSimEvaluator = core.NewSimEvaluator
 // then falls back to model-verified search. Construction errors are
 // retried after simRetryBackoff (see the Entry field docs); concurrent
 // callers single-flight on the entry's mutex.
-func (e *Entry) simEvaluator(traceLen int) (*core.SimEvaluator, error) {
+func (e *Entry) simEvaluator(traceLen int) (core.Evaluator, error) {
 	e.simMu.Lock()
 	defer e.simMu.Unlock()
 	if e.simEv != nil {
@@ -81,8 +93,22 @@ func (e *Entry) simEvaluator(traceLen int) (*core.SimEvaluator, error) {
 		return nil, e.simErr
 	}
 	e.simLastTry = clock()
-	e.simEv, e.simErr = newSimEvaluator(e.Model.Name, traceLen)
-	return e.simEv, e.simErr
+	factory := e.evalFactory
+	if factory == nil {
+		factory = func(benchmark string, traceLen int) (core.Evaluator, error) {
+			return newSimEvaluator(benchmark, traceLen)
+		}
+	}
+	// Assign through locals: a failed factory must leave simEv nil, not
+	// an interface wrapping a typed nil pointer (which would satisfy the
+	// memoization check above and serve a dead evaluator forever).
+	ev, err := factory(e.Model.Name, traceLen)
+	if err != nil {
+		e.simErr = err
+		return nil, err
+	}
+	e.simEv, e.simErr = ev, nil
+	return ev, nil
 }
 
 // modelEvaluator verifies a search shortlist with the model itself,
@@ -97,10 +123,11 @@ func (e modelEvaluator) Eval(cfg design.Config) float64 { return e.m.PredictConf
 // predict against. Reads (every predict) take the read lock only; hot
 // loads take the write lock for the map insert.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Entry
-	gen    uint64 // monotonic entry generation, bumped on every Add
-	dir    string // base for relative load paths
+	mu      sync.RWMutex
+	models  map[string]*Entry
+	gen     uint64 // monotonic entry generation, bumped on every Add
+	dir     string // base for relative load paths
+	factory EvalFactory
 }
 
 // NewRegistry returns an empty registry. dir, when non-empty, anchors
@@ -121,8 +148,18 @@ func (r *Registry) Add(name string, m *core.Model, path string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gen++
-	r.models[name] = &Entry{Name: name, Model: m, Path: path, gen: r.gen}
+	r.models[name] = &Entry{Name: name, Model: m, Path: path, gen: r.gen, evalFactory: r.factory}
 	return nil
+}
+
+// SetEvalFactory makes every subsequently added entry build its
+// simulator evaluator through factory instead of the in-process
+// default. Call it before loading models (cmd/predserve wires it from
+// -sim-workers before any load).
+func (r *Registry) SetEvalFactory(factory EvalFactory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factory = factory
 }
 
 // validateModel checks everything the predict path assumes about a

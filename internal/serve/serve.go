@@ -38,6 +38,8 @@ import (
 	"runtime"
 	"time"
 
+	"predperf/internal/cluster"
+	"predperf/internal/core"
 	"predperf/internal/obs"
 )
 
@@ -158,6 +160,13 @@ type Options struct {
 	// background build, so retraining cannot starve the serving CPUs
 	// (default 1).
 	RetrainWorkers int
+	// SimPool, when non-nil, fans every simulator consumer — search
+	// shortlist verification, shadow re-simulation, retrain builds —
+	// out to a cluster of sim workers instead of simulating on the
+	// serving host. Workers are deterministic, so results are
+	// bit-identical to local simulation. cmd/predserve builds the pool
+	// from -sim-workers.
+	SimPool *cluster.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -273,6 +282,11 @@ func New(opt Options) *Server {
 		cache:  newLRU(opt.CacheSize),
 		access: newAccessLog(opt.AccessLog),
 		clock:  opt.Clock,
+	}
+	if opt.SimPool != nil {
+		s.reg.SetEvalFactory(func(benchmark string, traceLen int) (core.Evaluator, error) {
+			return cluster.NewRemoteEvaluator(opt.SimPool, benchmark, traceLen, cluster.RemoteOptions{}), nil
+		})
 	}
 	s.start = s.clock()
 	obs.NewGaugeFunc("serve.cache_entries", func() float64 { return float64(s.cache.Len()) })

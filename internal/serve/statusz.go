@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"predperf/internal/cluster"
 	"predperf/internal/obs"
 )
 
@@ -32,6 +33,7 @@ type statuszData struct {
 	Routes    []routeRow
 	Alerts    []obs.Alert
 	Windows   string // window labels legend, e.g. "1m / 5m / 1h"
+	SimPool   []cluster.WorkerStatus
 }
 
 type sloRow struct {
@@ -163,6 +165,21 @@ svg.spark { vertical-align: middle; }
 {{end}}
 </table>
 
+{{if .SimPool}}
+<h2>Sim worker pool</h2>
+<table>
+<tr><th>worker</th><th>health</th><th class="num">consecutive fails</th><th class="num">in flight</th><th class="num">requests ok</th><th class="num">requests failed</th></tr>
+{{range .SimPool}}
+<tr>
+<td>{{.URL}}</td>
+<td>{{if .Evicted}}<span class="bad">evicted</span>{{else}}<span class="ok">healthy</span>{{end}}</td>
+<td class="num">{{.Fails}}</td><td class="num">{{.Inflight}}</td>
+<td class="num">{{.OK}}</td><td class="num">{{.Errors}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+
 <h2>Alerts</h2>
 {{if .Alerts}}
 <table>
@@ -277,6 +294,9 @@ func (s *Server) statuszData() statuszData {
 		d.Models = append(d.Models, row)
 	}
 	d.Retrains = s.retrain.states()
+	if s.opt.SimPool != nil {
+		d.SimPool = s.opt.SimPool.Snapshot()
+	}
 
 	routeNames := make([]string, 0, len(s.wRoutes))
 	for r := range s.wRoutes {

@@ -221,6 +221,99 @@ wait "$smoke_pid"
 smoke_pid=""
 grep -q "shut down cleanly" "$smoke_dir/retrain.log"
 
+echo "== cluster smoke =="
+# Distributed evaluation farm: two sim workers, a distributed model
+# build that survives losing one of them mid-flight, and a predserve
+# shard fronted by the consistent-hash router.
+go build -o "$smoke_dir/simworker" ./cmd/simworker
+go build -o "$smoke_dir/predrouter" ./cmd/predrouter
+worker_pids=""
+cleanup_cluster() {
+    for pid in $worker_pids; do kill "$pid" 2>/dev/null || true; done
+    cleanup_smoke
+}
+trap cleanup_cluster EXIT
+"$smoke_dir/simworker" -addr 127.0.0.1:0 -id w1 > "$smoke_dir/worker1.log" 2>&1 &
+w1_pid=$!
+"$smoke_dir/simworker" -addr 127.0.0.1:0 -id w2 > "$smoke_dir/worker2.log" 2>&1 &
+w2_pid=$!
+worker_pids="$w1_pid $w2_pid"
+w1=""; w2=""
+for _ in $(seq 1 50); do
+    w1=$(sed -n 's/^simworker: listening on //p' "$smoke_dir/worker1.log")
+    w2=$(sed -n 's/^simworker: listening on //p' "$smoke_dir/worker2.log")
+    [ -n "$w1" ] && [ -n "$w2" ] && break
+    sleep 0.1
+done
+if [ -z "$w1" ] || [ -z "$w2" ]; then
+    echo "sim workers did not start:" >&2
+    cat "$smoke_dir/worker1.log" "$smoke_dir/worker2.log" >&2
+    exit 1
+fi
+curl -fsS "http://$w1/healthz" | grep -q '"simworker"'
+# Distributed build through the farm, killing worker 1 immediately: the
+# pool must retry its in-flight chunks against worker 2 and the build
+# must still complete and persist a loadable model.
+mkdir "$smoke_dir/models3"
+go run ./cmd/predperf -bench mcf -insts 2000 -sample 12 -lhs 8 -test 4 \
+    -sim-workers "$w1,$w2" \
+    -save "$smoke_dir/models3/mcf.json" > "$smoke_dir/farmbuild.log" 2>&1 &
+build_pid=$!
+kill -KILL "$w1_pid"
+if ! wait "$build_pid"; then
+    echo "distributed build failed after losing a worker:" >&2
+    cat "$smoke_dir/farmbuild.log" >&2
+    exit 1
+fi
+worker_pids="$w2_pid"
+grep -q '"name":"mcf"' "$smoke_dir/models3/mcf.json"
+# A predserve shard over the farm-built model, fronted by the router.
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models3" \
+    > "$smoke_dir/shard.log" 2>&1 &
+shard_pid=$!
+worker_pids="$worker_pids $shard_pid"
+shard=""
+for _ in $(seq 1 50); do
+    shard=$(sed -n 's/^predserve: listening on //p' "$smoke_dir/shard.log")
+    [ -n "$shard" ] && break
+    sleep 0.1
+done
+[ -n "$shard" ] || { echo "cluster shard did not start" >&2; cat "$smoke_dir/shard.log" >&2; exit 1; }
+"$smoke_dir/predrouter" -addr 127.0.0.1:0 -shards "$shard" \
+    > "$smoke_dir/router.log" 2>&1 &
+router_pid=$!
+worker_pids="$worker_pids $router_pid"
+router=""
+for _ in $(seq 1 50); do
+    router=$(sed -n 's/^predrouter: listening on //p' "$smoke_dir/router.log")
+    [ -n "$router" ] && break
+    sleep 0.1
+done
+[ -n "$router" ] || { echo "predrouter did not start" >&2; cat "$smoke_dir/router.log" >&2; exit 1; }
+# Prediction through the router must match the shard's own answer.
+curl -fsS -X POST "http://$router/v1/predict" \
+    -d '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}' \
+    > "$smoke_dir/routed.json"
+grep -q '"value"' "$smoke_dir/routed.json"
+curl -fsS "http://$router/v1/models" | grep -q '"mcf"'
+curl -fsS "http://$router/statusz" > "$smoke_dir/router-statusz.html"
+grep -q 'predrouter' "$smoke_dir/router-statusz.html"
+# Clean SIGTERM drain of every role.
+for pid in $router_pid $shard_pid $w2_pid; do
+    kill -TERM "$pid"
+    wait "$pid"
+done
+worker_pids=""
+grep -q "shut down cleanly" "$smoke_dir/router.log"
+grep -q "shut down cleanly" "$smoke_dir/shard.log"
+grep -q "shut down cleanly" "$smoke_dir/worker2.log"
+
+echo "== cluster throughput report =="
+go run ./cmd/benchcluster -insts 2000 -configs 8 -chunk 2 -workers 1,2 \
+    -router-iters 20 -out "$smoke_dir/BENCH_cluster.json" > /dev/null
+grep -q '"bit_identical_remote_vs_local": true' "$smoke_dir/BENCH_cluster.json"
+grep -q '"speedup_vs_one_worker"' "$smoke_dir/BENCH_cluster.json"
+
 echo "== obs overhead report =="
 go run ./cmd/benchobs -iters 100000 -repeats 1 -sample 20 -insts 5000 \
     -out "$smoke_dir/BENCH_obs.json" > /dev/null
