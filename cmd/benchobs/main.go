@@ -52,6 +52,10 @@ type BuildOverhead struct {
 	Spans       int     `json:"spans_recorded"`
 }
 
+// sink keeps the compiler from eliding a measured call whose result is
+// otherwise unused.
+var sink bool
+
 // perOp times f() over iters iterations, repeats times, and returns the
 // best per-op nanoseconds.
 func perOp(repeats, iters int, f func()) float64 {
@@ -132,6 +136,27 @@ func main() {
 		end()
 	})
 
+	// Distributed-tracing request path: what one request pays when head
+	// sampling says no (the -trace-sample 0 hot path: a hash and a
+	// branch), when it says yes (a trace allocation plus root span), and
+	// what offering a finished trace to the tail-retention store costs.
+	sampler := obs.NewSampler(0.5)
+	rep.Ops["request_sampled_off"] = perOp(*repeats, *iters, func() {
+		sink = sampler.Sample("benchobs-request-id")
+	})
+	rep.Ops["request_sampled_on"] = perOp(*repeats, *iters/10, func() {
+		t := obs.NewTrace("benchobs-req")
+		_, end := obs.StartSpanCtx(obs.WithTrace(bg, t), "serve.request")
+		end()
+	})
+	store := obs.NewTraceStore(64)
+	stored := obs.NewTrace("benchobs-stored")
+	_, endStored := obs.StartSpanCtx(obs.WithTrace(bg, stored), "serve.request")
+	endStored()
+	rep.Ops["trace_store_retention"] = perOp(*repeats, *iters/10, func() {
+		store.Add(stored, obs.TraceMeta{ID: stored.ID(), Kind: "request", Route: "/v1/predict", Status: 200})
+	})
+
 	// End-to-end: the same build untraced vs. traced. The models are
 	// checked bit-identical (the determinism contract of the obs layer).
 	if _, err := core.NewSimEvaluator(*bench, *insts); err != nil {
@@ -200,6 +225,7 @@ func main() {
 		"counter_inc", "histogram_observe", "histogram_vec_with_observe",
 		"windowed_counter_rate", "windowed_hist_stats", "window_tick_all",
 		"span_disabled", "span_enabled", "spanctx_disabled_no_trace", "spanctx_traced",
+		"request_sampled_off", "request_sampled_on", "trace_store_retention",
 	} {
 		fmt.Printf("  %-28s %8.1f ns/op\n", k, rep.Ops[k])
 	}

@@ -57,6 +57,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	syncEvery := flag.Duration("sync-every", 5*time.Second, "cadence of the /v1/models topology poll driving replica re-sync")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of edge requests that record a distributed trace into /tracez (0 disables; the decision rides the traceparent header to every shard and worker)")
+	traceStore := flag.Int("trace-store", 64, "traces retained per /tracez class (errors, kept, reservoir sample)")
 	flag.Parse()
 
 	var urls []string
@@ -71,12 +73,18 @@ func main() {
 
 	obs.Enable()
 
+	ts := *traceSample
+	if ts <= 0 {
+		ts = -1
+	}
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
 		Shards:         urls,
 		Replicas:       *replicas,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		SyncInterval:   *syncEvery,
+		TraceSample:    ts,
+		TraceStoreSize: *traceStore,
 	})
 	if err != nil {
 		log.Fatal(err)

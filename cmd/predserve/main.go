@@ -92,6 +92,16 @@ func parseSizes(s string) []int {
 	return out
 }
 
+// sampleRate maps the -trace-sample flag onto Options semantics, where
+// the zero value means "default to 1.0": a flag value of 0 must disable
+// tracing, so it maps to the negative sentinel.
+func sampleRate(f float64) float64 {
+	if f <= 0 {
+		return -1
+	}
+	return f
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("predserve: ")
@@ -129,6 +139,8 @@ func main() {
 	retrainTestPoints := flag.Int("retrain-test-points", 24, "simulator-backed test points driving the retrain stopping rule")
 	retrainWorkers := flag.Int("retrain-workers", 1, "worker goroutines for one background retrain build")
 	simWorkers := flag.String("sim-workers", "", "comma-separated simworker base URLs; when set, search verification, shadow re-simulation, and retrain builds fan out to the evaluation farm instead of simulating in-process")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of edge requests that record a distributed trace into /tracez (0 disables; downstream hops inherit the edge's decision)")
+	traceStore := flag.Int("trace-store", 64, "traces retained per /tracez class (errors, kept outliers, reservoir sample)")
 	flag.Parse()
 
 	if *version {
@@ -224,6 +236,9 @@ func main() {
 		RetrainWorkers:       *retrainWorkers,
 
 		SimPool: simPool,
+
+		TraceSample:    sampleRate(*traceSample),
+		TraceStoreSize: *traceStore,
 	})
 	if *retrain && *shadowFrac <= 0 {
 		log.Print("warning: -retrain has no trigger without shadow monitoring; set -shadow-frac > 0")

@@ -52,17 +52,25 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request deadline")
 	workers := flag.Int("workers", 0, "goroutines evaluating one batch (0 = all CPUs)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of edge requests that record a distributed trace into /tracez (0 disables; requests carrying a traceparent inherit the caller's decision)")
+	traceStore := flag.Int("trace-store", 64, "traces retained per /tracez class (errors, kept, reservoir sample)")
 	flag.Parse()
 
 	obs.Enable()
 
+	ts := *traceSample
+	if ts <= 0 {
+		ts = -1
+	}
 	w := cluster.NewWorker(cluster.WorkerOptions{
-		ID:           *id,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
-		MaxTraceLen:  *maxInsts,
-		Timeout:      *timeout,
-		Workers:      *workers,
+		ID:             *id,
+		MaxBatch:       *maxBatch,
+		MaxBodyBytes:   *maxBody,
+		MaxTraceLen:    *maxInsts,
+		Timeout:        *timeout,
+		Workers:        *workers,
+		TraceSample:    ts,
+		TraceStoreSize: *traceStore,
 	})
 
 	l, err := net.Listen("tcp", *addr)

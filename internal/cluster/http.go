@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"predperf/internal/obs"
 )
@@ -86,18 +88,89 @@ func handleMetricz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// withRequestID assigns (or respects) the request ID, attaches a
-// request-scoped trace, and echoes the ID on the response — the same
-// contract as predserve's middleware, so an ID minted at the edge
-// survives router → shard and builder → worker hops intact.
-func withRequestID(next http.Handler) http.Handler {
+type clusterCtxKey int
+
+const spanReturnKey clusterCtxKey = iota
+
+// spanReturnWanted reports whether the inbound hop asked for this
+// request's span forest back (it carried a sampled traceparent).
+func spanReturnWanted(ctx context.Context) bool {
+	b, _ := ctx.Value(spanReturnKey).(bool)
+	return b
+}
+
+// statusRecorder captures the response status for trace retention.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// withTracing assigns (or respects, after validation) the request ID,
+// echoes it on the response, and decides whether this request records a
+// trace: an inbound traceparent header makes the edge's sampling bit
+// authoritative (a remote-parented hop records spans only when the
+// caller is sampling, and skips the local root span so its forest
+// grafts cleanly under the caller's hop span), while edge requests —
+// no traceparent — go through the role's own sampler and get a
+// "<role>.request" root span. Finished traces are offered to the
+// role's /tracez store with tail-based retention.
+func withTracing(role string, sampler obs.Sampler, store *obs.TraceStore, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		id := r.Header.Get(RequestIDHeader)
-		if id == "" {
+		if !obs.ValidRequestID(id) {
 			id = obs.NewTraceID()
 		}
 		w.Header().Set(RequestIDHeader, id)
-		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(id)))
-		next.ServeHTTP(w, r)
+		ctx := obs.WithRequestID(r.Context(), id)
+
+		sc, remote := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		sampled := sc.Sampled
+		if !remote {
+			sampled = sampler.Sample(id)
+		}
+		var tr *obs.Trace
+		endRoot := func() {}
+		if sampled {
+			tid := id
+			if remote && sc.TraceID != "" {
+				tid = sc.TraceID
+			}
+			tr = obs.NewTrace(tid)
+			ctx = obs.WithTrace(ctx, tr)
+			if remote {
+				ctx = context.WithValue(ctx, spanReturnKey, true)
+			} else {
+				ctx, endRoot = obs.StartSpanCtx(ctx, role+".request", "path", r.URL.Path)
+			}
+		}
+		sw := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		endRoot()
+
+		if tr != nil && store != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			store.Add(tr, obs.TraceMeta{
+				ID: tr.ID(), Kind: "request", Route: r.URL.Path, Status: status,
+				Start: t0, Dur: time.Since(t0), Err: status >= 500,
+			})
+		}
 	})
 }

@@ -21,9 +21,11 @@
 //     model generation vector piggybacked on /v1/models detects hot
 //     swaps and triggers re-sync of the failover shard.
 //
-// Both roles thread X-Request-Id through every hop, export cluster.*
-// counters and histograms, and answer /healthz, /metricz, and a
-// /statusz topology page.
+// Both roles thread X-Request-Id and the obs traceparent header through
+// every hop (the edge's sampling decision rides the header, and sampled
+// callees return their span forests for grafting into the caller's
+// trace), export cluster.* counters and histograms, and answer
+// /healthz, /metricz, /tracez, and a /statusz topology page.
 package cluster
 
 import (
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"predperf/internal/design"
+	"predperf/internal/obs"
 )
 
 // WireConfig is the JSON shape of a processor configuration on every
@@ -109,6 +112,11 @@ type EvalResponse struct {
 	Sims int `json:"sims"`
 	// Worker identifies the responding worker for tracing.
 	Worker string `json:"worker,omitempty"`
+	// Spans is the worker's span forest for this request, returned only
+	// when the caller's traceparent header carried the sampling bit
+	// (bounded by obs.MaxWireSpans). The pool grafts it into the live
+	// trace so worker-side work shows up in the caller's timeline.
+	Spans []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // RetryAfterSeconds renders a backoff hint as a Retry-After header

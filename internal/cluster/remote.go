@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -338,40 +339,57 @@ type attemptResult struct {
 
 // attempt runs one request against one worker: acquire an in-flight
 // slot, POST the body with the per-attempt deadline, parse the answer.
+// Each attempt is a "cluster.pool_attempt" span annotated with its
+// worker, whether it was a hedge, and the outcome — so a hedged eval's
+// duplicated work is attributable in the trace rather than appearing as
+// a mystery double eval. The request identity and sampling bit ride the
+// traceparent header; a sampled worker's span forest comes back in the
+// response body and is grafted under the attempt span.
 func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bool, out chan<- attemptResult) {
-	send := func(res *EvalResponse, err error) {
+	tr := obs.TraceFrom(ctx)
+	spanCtx, endSpan := obs.StartSpanArgs(ctx, "cluster.pool_attempt",
+		"worker", w.url, "hedge", strconv.FormatBool(hedge))
+	send := func(res *EvalResponse, err error, outcome string) {
+		endSpan("outcome", outcome)
 		out <- attemptResult{res: res, err: err, worker: w, hedge: hedge}
 	}
 	select {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
 	case <-ctx.Done():
-		send(nil, ctx.Err())
+		send(nil, ctx.Err(), "canceled")
 		return
 	}
 	attemptCtx, cancel := context.WithTimeout(ctx, p.opt.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, w.url+"/v1/eval", bytes.NewReader(body))
 	if err != nil {
-		send(nil, err)
+		send(nil, err, "bad_request")
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tr := obs.TraceFrom(ctx); tr != nil {
-		req.Header.Set(RequestIDHeader, tr.ID())
+	id := obs.RequestIDFrom(ctx)
+	if tr != nil {
+		id = tr.ID()
+	}
+	if id != "" {
+		req.Header.Set(RequestIDHeader, id)
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(obs.SpanContext{
+			TraceID: id, ParentID: obs.SpanIDFrom(spanCtx), Sampled: tr != nil,
+		}))
 	}
 	t0 := time.Now()
 	resp, err := p.opt.Client.Do(req)
 	if err != nil {
 		p.fail(w)
-		send(nil, fmt.Errorf("cluster: worker %s: %w", w.url, err))
+		send(nil, fmt.Errorf("cluster: worker %s: %w", w.url, err), "transport_error")
 		return
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		p.fail(w)
-		send(nil, fmt.Errorf("cluster: worker %s: reading response: %w", w.url, err))
+		send(nil, fmt.Errorf("cluster: worker %s: reading response: %w", w.url, err), "read_error")
 		return
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -379,21 +397,25 @@ func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bo
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			// The request itself is wrong; no worker will accept it.
 			// 4xx does not indict the worker's health.
-			send(nil, permanentError{err})
+			send(nil, permanentError{err}, "rejected")
 			return
 		}
 		p.fail(w)
-		send(nil, err)
+		send(nil, err, "server_error")
 		return
 	}
 	var er EvalResponse
 	if err := json.Unmarshal(raw, &er); err != nil {
 		p.fail(w)
-		send(nil, fmt.Errorf("cluster: worker %s: bad response body: %w", w.url, err))
+		send(nil, fmt.Errorf("cluster: worker %s: bad response body: %w", w.url, err), "bad_body")
 		return
 	}
-	p.succeed(w, time.Since(t0))
-	send(&er, nil)
+	rtt := time.Since(t0)
+	p.succeed(w, rtt)
+	if tr != nil && len(er.Spans) > 0 {
+		tr.Graft(obs.SpanIDFrom(spanCtx), er.Spans, obs.ClockOffset(t0, rtt, er.Spans))
+	}
+	send(&er, nil, "ok")
 }
 
 func truncate(b []byte, n int) string {
@@ -428,6 +450,17 @@ func (p *Pool) tryOnce(ctx context.Context, body []byte) (*EvalResponse, error) 
 			if r.err == nil {
 				if r.hedge {
 					cPoolHedgeWins.Inc()
+				}
+				if launched > 1 {
+					// A zero-duration marker naming the race's winner; the
+					// per-attempt spans carry the worker and hedge flags.
+					winner := "primary"
+					if r.hedge {
+						winner = "hedge"
+					}
+					_, endRace := obs.StartSpanArgs(ctx, "cluster.hedge_race",
+						"winner", winner, "worker", r.worker.url)
+					endRace()
 				}
 				return r.res, nil
 			}
@@ -600,7 +633,35 @@ var _ core.Evaluator = (*RemoteEvaluator)(nil)
 // Eval returns the metric for cfg, asking the farm on a cache miss.
 // Concurrent misses on the same configuration single-flight: the losers
 // wait for the winner's network round trip instead of duplicating it.
-func (e *RemoteEvaluator) Eval(cfg design.Config) float64 {
+func (e *RemoteEvaluator) Eval(cfg design.Config) float64 { return e.evalCtx(e.ctx, cfg) }
+
+// Bind returns a view of this evaluator whose remote calls carry ctx —
+// the request-scoped trace (so pool attempts and worker spans land in
+// the request's timeline) and its cancellation — while sharing the
+// cache, single-flight slots, and pool of the parent. It keeps the
+// ctx-less core.Evaluator seam intact: request handlers bind per
+// request, batch builders use the evaluator as-is.
+func (e *RemoteEvaluator) Bind(ctx context.Context) core.Evaluator {
+	if ctx == nil {
+		return e
+	}
+	return boundRemote{e: e, ctx: ctx}
+}
+
+// boundRemote is a RemoteEvaluator view carrying a request context.
+type boundRemote struct {
+	e   *RemoteEvaluator
+	ctx context.Context
+}
+
+func (b boundRemote) Eval(cfg design.Config) float64 { return b.e.evalCtx(b.ctx, cfg) }
+func (b boundRemote) EvalBatch(cfgs []design.Config) ([]float64, error) {
+	return b.e.evalBatchCtx(b.ctx, cfgs)
+}
+func (b boundRemote) Simulations() int { return b.e.Simulations() }
+func (b boundRemote) Err() error       { return b.e.Err() }
+
+func (e *RemoteEvaluator) evalCtx(ctx context.Context, cfg design.Config) float64 {
 	key := cfg.Key()
 	for {
 		e.mu.Lock()
@@ -609,15 +670,15 @@ func (e *RemoteEvaluator) Eval(cfg design.Config) float64 {
 			ent = &remoteEntry{done: make(chan struct{})}
 			e.cache[key] = ent
 			e.mu.Unlock()
-			e.fetch(key, ent, cfg)
+			e.fetch(ctx, key, ent, cfg)
 			return ent.val
 		}
 		e.mu.Unlock()
 		cRemoteCacheHits.Inc()
 		select {
 		case <-ent.done:
-		case <-e.ctx.Done():
-			e.recordErr(e.ctx.Err())
+		case <-ctx.Done():
+			e.recordErr(ctx.Err())
 			return math.NaN()
 		}
 		if ent.ok {
@@ -625,7 +686,7 @@ func (e *RemoteEvaluator) Eval(cfg design.Config) float64 {
 		}
 		// The winner failed and removed the entry; retry as a fresh
 		// miss (the backoff already happened inside the pool).
-		if err := e.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			e.recordErr(err)
 			return math.NaN()
 		}
@@ -636,10 +697,10 @@ func (e *RemoteEvaluator) Eval(cfg design.Config) float64 {
 // failure the entry is removed so a later Eval can retry, the error is
 // recorded, and NaN (or the fallback's answer) is published to current
 // waiters.
-func (e *RemoteEvaluator) fetch(key string, ent *remoteEntry, cfg design.Config) {
+func (e *RemoteEvaluator) fetch(ctx context.Context, key string, ent *remoteEntry, cfg design.Config) {
 	defer close(ent.done)
 	cRemoteEvals.Inc()
-	vals, _, err := e.pool.EvalChunk(e.ctx, EvalRequest{
+	vals, _, err := e.pool.EvalChunk(ctx, EvalRequest{
 		Benchmark: e.Benchmark,
 		TraceLen:  e.TraceLen,
 		Metric:    strings.ToLower(e.metric.String()),
@@ -670,6 +731,10 @@ func (e *RemoteEvaluator) fetch(key string, ent *remoteEntry, cfg design.Config)
 // across the farm in BatchChunk-sized concurrent requests. Results are
 // positionally stable and bit-identical to per-config Eval calls.
 func (e *RemoteEvaluator) EvalBatch(cfgs []design.Config) ([]float64, error) {
+	return e.evalBatchCtx(e.ctx, cfgs)
+}
+
+func (e *RemoteEvaluator) evalBatchCtx(ctx context.Context, cfgs []design.Config) ([]float64, error) {
 	out := make([]float64, len(cfgs))
 	missIdx := make([]int, 0, len(cfgs))
 	e.mu.Lock()
@@ -705,7 +770,7 @@ func (e *RemoteEvaluator) EvalBatch(cfgs []design.Config) ([]float64, error) {
 			for a, i := range idx {
 				req.Configs[a] = FromConfig(cfgs[i])
 			}
-			vals, _, err := e.pool.EvalChunk(e.ctx, req)
+			vals, _, err := e.pool.EvalChunk(ctx, req)
 			if err != nil {
 				errs[c] = err
 				return

@@ -53,6 +53,15 @@ type RouterOptions struct {
 	SyncInterval time.Duration
 	// Client overrides the HTTP client.
 	Client *http.Client
+	// TraceSample is the edge head-sampling rate: the fraction of
+	// client requests that record a distributed trace (0 means sample
+	// everything, matching the old always-trace behaviour; negative
+	// disables tracing). The decision is made once here and propagated
+	// to shards and workers on the traceparent header.
+	TraceSample float64
+	// TraceStoreSize caps each retention class of the /tracez store
+	// (default 64).
+	TraceStoreSize int
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -70,6 +79,12 @@ func (o RouterOptions) withDefaults() RouterOptions {
 			MaxIdleConnsPerHost: 8,
 			IdleConnTimeout:     90 * time.Second,
 		}}
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
+	if o.TraceStoreSize <= 0 {
+		o.TraceStoreSize = 64
 	}
 	return o
 }
@@ -109,10 +124,12 @@ type shardState struct {
 // the secondary shard to reload the model file so failover keeps
 // serving current coefficients.
 type Router struct {
-	opt   RouterOptions
-	ring  *Ring
-	start time.Time
-	http  *http.Server
+	opt     RouterOptions
+	ring    *Ring
+	start   time.Time
+	http    *http.Server
+	sampler obs.Sampler
+	traces  *obs.TraceStore
 
 	mu     sync.Mutex
 	models map[string]*routerModel // name → placement + generations
@@ -139,12 +156,14 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		return nil, err
 	}
 	rt := &Router{
-		opt:    opt,
-		ring:   ring,
-		start:  time.Now(),
-		models: map[string]*routerModel{},
-		shards: map[string]*shardState{},
-		synced: map[string]uint64{},
+		opt:     opt,
+		ring:    ring,
+		start:   time.Now(),
+		sampler: obs.NewSampler(opt.TraceSample),
+		traces:  obs.NewTraceStore(opt.TraceStoreSize),
+		models:  map[string]*routerModel{},
+		shards:  map[string]*shardState{},
+		synced:  map[string]uint64{},
 	}
 	for _, u := range ring.Shards() {
 		rt.shards[u] = &shardState{URL: u}
@@ -156,6 +175,9 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 // Ring exposes the router's placement ring (read-only use).
 func (rt *Router) Ring() *Ring { return rt.ring }
 
+// Traces exposes the router's /tracez store.
+func (rt *Router) Traces() *obs.TraceStore { return rt.traces }
+
 // Handler returns the router API.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -165,8 +187,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/models/load", rt.handleLoad)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metricz", handleMetricz)
+	mux.Handle("/tracez", rt.traces.Handler())
 	mux.HandleFunc("/statusz", rt.handleStatusz)
-	return withRequestID(mux)
+	return withTracing("router", rt.sampler, rt.traces, mux)
 }
 
 // modelEnvelope peeks the model name out of a predict/search body
@@ -233,34 +256,66 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 }
 
 // tryShard runs one proxied attempt. A non-nil error means the shard
-// never answered (transport failure or timeout).
+// never answered (transport failure or timeout). The hop carries the
+// request identity and the edge's sampling bit on the traceparent
+// header — an unsampled header actively suppresses trace allocation on
+// the shard — and a sampled shard returns its span forest on the
+// X-Trace-Spans trailer, which is grafted under this hop's span.
 func (rt *Router) tryShard(ctx context.Context, shard, method, path string, body []byte) (int, http.Header, []byte, error) {
-	ctx, cancel := context.WithTimeout(ctx, rt.opt.RequestTimeout)
+	tr := obs.TraceFrom(ctx)
+	spanCtx, endHop := obs.StartSpanArgs(ctx, "router.forward", "shard", shard, "path", path)
+	hopID := obs.SpanIDFrom(spanCtx)
+	ctx, cancel := context.WithTimeout(spanCtx, rt.opt.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, shard+path, bytes.NewReader(body))
 	if err != nil {
+		endHop("outcome", "bad_request")
 		return 0, nil, nil, err
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if tr := obs.TraceFrom(ctx); tr != nil {
-		req.Header.Set(RequestIDHeader, tr.ID())
+	id := obs.RequestIDFrom(ctx)
+	if tr != nil {
+		id = tr.ID()
+	}
+	if id != "" {
+		req.Header.Set(RequestIDHeader, id)
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(obs.SpanContext{
+			TraceID: id, ParentID: hopID, Sampled: tr != nil,
+		}))
 	}
 	t0 := time.Now()
 	resp, err := rt.opt.Client.Do(req)
 	if err != nil {
 		rt.markShard(shard, false, err)
+		endHop("outcome", "transport_error")
 		return 0, nil, nil, fmt.Errorf("shard %s: %w", shard, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		rt.markShard(shard, false, err)
+		endHop("outcome", "read_error")
 		return 0, nil, nil, fmt.Errorf("shard %s: reading response: %w", shard, err)
 	}
-	hRouterProxy.With(shard).Observe(time.Since(t0).Seconds())
+	rtt := time.Since(t0)
+	var offsetMS string
+	if tr != nil {
+		// Trailers are readable only after the body is fully consumed.
+		if spans, derr := obs.DecodeSpans(resp.Trailer.Get(obs.SpanTrailerHeader)); derr == nil && len(spans) > 0 {
+			off := obs.ClockOffset(t0, rtt, spans)
+			tr.Graft(hopID, spans, off)
+			offsetMS = strconv.FormatFloat(float64(off)/float64(time.Millisecond), 'f', 3, 64)
+		}
+	}
+	hRouterProxy.With(shard).Observe(rtt.Seconds())
 	rt.markShard(shard, resp.StatusCode < 500, nil)
+	if offsetMS != "" {
+		endHop("status", strconv.Itoa(resp.StatusCode), "clock_offset_ms", offsetMS)
+	} else {
+		endHop("status", strconv.Itoa(resp.StatusCode))
+	}
 	return resp.StatusCode, resp.Header, raw, nil
 }
 

@@ -52,6 +52,15 @@ type WorkerOptions struct {
 	// CPUs). Results land in fixed slots, so the response is
 	// deterministic for any setting.
 	Workers int
+	// TraceSample is the head-sampling rate for requests arriving
+	// without a traceparent header (direct callers). Requests from a
+	// traced pool carry the edge's decision and ignore this. 0 means
+	// sample everything (matching the old always-trace behaviour);
+	// negative disables edge sampling entirely.
+	TraceSample float64
+	// TraceStoreSize caps each retention class of the /tracez store
+	// (default 64).
+	TraceStoreSize int
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -67,6 +76,12 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Minute
 	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
+	if o.TraceStoreSize <= 0 {
+		o.TraceStoreSize = 64
+	}
 	return o
 }
 
@@ -76,9 +91,11 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 // configurations cost one simulation total — and every response is
 // bit-identical to evaluating locally.
 type Worker struct {
-	opt   WorkerOptions
-	start time.Time
-	http  *http.Server
+	opt     WorkerOptions
+	start   time.Time
+	http    *http.Server
+	sampler obs.Sampler
+	traces  *obs.TraceStore
 
 	mu  sync.Mutex
 	id  string
@@ -90,9 +107,14 @@ func NewWorker(opt WorkerOptions) *Worker {
 	w := &Worker{opt: opt.withDefaults(), start: time.Now()}
 	w.id = w.opt.ID
 	w.evs = map[string]*core.SimEvaluator{}
+	w.sampler = obs.NewSampler(w.opt.TraceSample)
+	w.traces = obs.NewTraceStore(w.opt.TraceStoreSize)
 	w.http = &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return w
 }
+
+// Traces exposes the worker's /tracez store.
+func (w *Worker) Traces() *obs.TraceStore { return w.traces }
 
 // evaluator returns (building and memoizing on first use) the evaluator
 // for one benchmark and trace length. Construction errors are returned
@@ -121,18 +143,19 @@ func (w *Worker) ID() string {
 	return w.id
 }
 
-// Handler returns the worker API: /v1/eval, /healthz, /metricz, and a
-// /statusz topology page, wrapped with request-ID propagation and the
-// per-request deadline.
+// Handler returns the worker API: /v1/eval, /healthz, /metricz,
+// /tracez, and a /statusz topology page, wrapped with trace propagation
+// and the per-request deadline.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/eval", w.handleEval)
 	mux.HandleFunc("/healthz", w.handleHealthz)
 	mux.HandleFunc("/metricz", handleMetricz)
+	mux.Handle("/tracez", w.traces.Handler())
 	mux.HandleFunc("/statusz", w.handleStatusz)
 	th := http.TimeoutHandler(mux, w.opt.Timeout,
 		`{"error":{"code":"timeout","message":"request exceeded the worker's per-request deadline"}}`)
-	return withRequestID(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+	return withTracing("worker", w.sampler, w.traces, http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		th.ServeHTTP(rw, r)
 	}))
@@ -142,8 +165,15 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	if !requireMethod(rw, r, http.MethodPost) {
 		return
 	}
-	_, end := obs.StartSpanCtx(r.Context(), "cluster.worker_eval")
-	defer end()
+	spanCtx, end := obs.StartSpanCtx(r.Context(), "cluster.worker_eval")
+	ended := false
+	endEval := func() {
+		if !ended {
+			ended = true
+			end()
+		}
+	}
+	defer endEval()
 	gWorkerInflt.Inc()
 	defer gWorkerInflt.Dec()
 	var req EvalRequest
@@ -222,7 +252,14 @@ func (w *Worker) handleEval(rw http.ResponseWriter, r *http.Request) {
 	sims := base.Simulations() - simsBefore
 	cWorkerSims.Add(int64(sims))
 	hWorkerEval.With(req.Benchmark).Observe(time.Since(t0).Seconds())
-	writeJSON(rw, http.StatusOK, EvalResponse{Values: values, Sims: sims, Worker: w.ID()})
+	resp := EvalResponse{Values: values, Sims: sims, Worker: w.ID()}
+	// A traced caller gets this request's span forest back in the body;
+	// the eval span must end before the export so it is included.
+	if tr := obs.TraceFrom(spanCtx); tr != nil && spanReturnWanted(r.Context()) {
+		endEval()
+		resp.Spans = tr.Export(obs.MaxWireSpans)
+	}
+	writeJSON(rw, http.StatusOK, resp)
 }
 
 // workerLoadedEvaluator is one row of the worker's /healthz and

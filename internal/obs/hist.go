@@ -39,12 +39,29 @@ var DefLatencyBuckets = ExponentialBuckets(100e-6, 2, 20)
 // count under any concurrency. Histograms created by a HistogramVec
 // additionally carry labels.
 type Histogram struct {
-	name    string
-	labels  []Label
-	bounds  []float64 // strictly increasing upper bounds; implicit +Inf last
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+	name      string
+	labels    []Label
+	bounds    []float64 // strictly increasing upper bounds; implicit +Inf last
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits of the running sum, CAS-updated
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one bucket's most recent traced observation — the
+// OpenMetrics "# {trace_id=...}" annotation linking a latency bucket to
+// a trace in the /tracez store.
+type exemplar struct {
+	traceID string
+	value   float64
+	unixMs  int64
+}
+
+// Exemplar is the exported view of a bucket exemplar.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
 }
 
 func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
@@ -56,7 +73,11 @@ func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{name: name, labels: labels, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		name: name, labels: labels, bounds: b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // NewHistogram registers a named histogram with the given upper bounds
@@ -76,7 +97,21 @@ func (h *Histogram) displayName() string { return h.name + labelString(h.labels)
 func (h *Histogram) Bounds() []float64 { return h.bounds }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// ObserveWithExemplar records one value and stamps its bucket with the
+// trace that produced it, so /metricz exposition can point at a
+// concrete trace per latency band. A single atomic pointer swap on top
+// of Observe; empty trace IDs record no exemplar.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, unixMs: time.Now().UnixMilli()})
+	}
+}
+
+// observe adds v and returns the index of the bucket it landed in.
+func (h *Histogram) observe(v float64) int {
 	// First index whose bound is >= v, i.e. the smallest bucket whose
 	// "le" upper bound admits v; values above every bound land in the
 	// overflow (+Inf) bucket.
@@ -86,9 +121,27 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			return i
 		}
 	}
+}
+
+// exemplarAt returns bucket i's exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *exemplar { return h.exemplars[i].Load() }
+
+// LatestExemplar returns the most recently recorded exemplar across all
+// buckets — the "recent trace" link on a /statusz route row.
+func (h *Histogram) LatestExemplar() (Exemplar, bool) {
+	var best *exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil && (best == nil || e.unixMs > best.unixMs) {
+			best = e
+		}
+	}
+	if best == nil {
+		return Exemplar{}, false
+	}
+	return Exemplar{TraceID: best.traceID, Value: best.value, Time: time.UnixMilli(best.unixMs)}, true
 }
 
 // ObserveSince records the elapsed seconds since t0 — the latency idiom:
@@ -116,6 +169,9 @@ func (h *Histogram) bucketCounts() []int64 {
 func (h *Histogram) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+	}
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
 	}
 	h.count.Store(0)
 	h.sumBits.Store(0)

@@ -234,7 +234,15 @@ func writePromHistogram(b *strings.Builder, name string, children []*Histogram) 
 			if i < len(h.bounds) {
 				le = promFloat(h.bounds[i])
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(h.labels, Label{Key: "le", Value: le}), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d", name, promLabels(h.labels, Label{Key: "le", Value: le}), cum)
+			// OpenMetrics exemplar: link the bucket to a recent trace.
+			// Plain-text scrapers treat "#" as a comment and ignore it.
+			if ex := h.exemplarAt(i); ex != nil {
+				fmt.Fprintf(b, " # {trace_id=\"%s\"} %s %s",
+					escapeLabelValue(ex.traceID), promFloat(ex.value),
+					strconv.FormatFloat(float64(ex.unixMs)/1e3, 'f', 3, 64))
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(b, "%s_sum%s %s\n", name, promLabels(h.labels), promFloat(h.Sum()))
 		fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(h.labels), cum)

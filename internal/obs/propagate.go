@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cross-process trace propagation, W3C trace-context style. A caller
+// that is recording a trace injects TraceparentHeader on outbound
+// requests (trace ID, parent span ID, sampling bit); the callee makes
+// no sampling decision of its own — the bit minted at the edge rides
+// every hop, so one request is either traced everywhere or nowhere.
+// The callee records its spans in a local Trace and ships the completed
+// forest back to the caller (WireSpan, Export), which grafts it under
+// the hop's client span (Graft) after shifting remote clocks onto the
+// local timeline (ClockOffset).
+
+// TraceparentHeader carries "version-traceid-spanid-flags" across
+// process hops, e.g. "00-8f3a…-000000000000002a-01". The trace ID is a
+// request ID (ValidRequestID charset, which may itself contain dashes),
+// so the span-ID and flags fields are parsed from the right.
+const TraceparentHeader = "Traceparent"
+
+// SpanTrailerHeader is the HTTP trailer on which a predserve shard
+// returns its span forest to the router: a trailer (not a body field)
+// so the relayed response body stays byte-identical with tracing on or
+// off.
+const SpanTrailerHeader = "X-Trace-Spans"
+
+// MaxWireSpans bounds the span forest one hop may return; deeper traces
+// are truncated to the earliest-completed spans.
+const MaxWireSpans = 512
+
+// traceparentSampled is the flags bit marking a sampled trace.
+const traceparentSampled = 0x01
+
+// SpanContext is the propagated identity of one hop: which trace the
+// request belongs to, which span on the caller is its parent, and
+// whether the edge decided to record it.
+type SpanContext struct {
+	TraceID  string
+	ParentID int64
+	Sampled  bool
+}
+
+// FormatTraceparent renders sc as a traceparent header value.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%016x-%s", sc.TraceID, uint64(sc.ParentID), flags)
+}
+
+// ParseTraceparent parses a traceparent header value. Because the trace
+// ID may contain dashes (it is a request ID, not a fixed-width hex
+// field), the span-ID and flags fields are located from the right.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if !strings.HasPrefix(s, "00-") {
+		return SpanContext{}, false
+	}
+	rest := s[3:]
+	i := strings.LastIndexByte(rest, '-')
+	if i < 0 {
+		return SpanContext{}, false
+	}
+	j := strings.LastIndexByte(rest[:i], '-')
+	if j < 0 {
+		return SpanContext{}, false
+	}
+	traceID, spanHex, flagsHex := rest[:j], rest[j+1:i], rest[i+1:]
+	if !ValidRequestID(traceID) || len(spanHex) != 16 || len(flagsHex) != 2 {
+		return SpanContext{}, false
+	}
+	spanID, err := strconv.ParseUint(spanHex, 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	flags, err := strconv.ParseUint(flagsHex, 16, 8)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{
+		TraceID:  traceID,
+		ParentID: int64(spanID),
+		Sampled:  flags&traceparentSampled != 0,
+	}, true
+}
+
+// ValidRequestID reports whether a client-supplied request ID is safe
+// to echo into response headers, access logs, trace IDs, and the
+// traceparent header: 1–64 characters of [A-Za-z0-9._-]. Anything else
+// is replaced with a generated ID rather than reflected.
+func ValidRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Sampler is the edge's head-sampling decision: a deterministic hash of
+// the request ID against a rate threshold, so the same request ID
+// samples identically on every replica and retries of one request are
+// all traced or all not.
+type Sampler struct {
+	threshold uint64
+}
+
+// NewSampler builds a sampler keeping the given fraction of requests
+// (rate >= 1 keeps everything, rate <= 0 keeps nothing).
+func NewSampler(rate float64) Sampler {
+	switch {
+	case rate >= 1:
+		return Sampler{threshold: math.MaxUint64}
+	case rate <= 0:
+		return Sampler{threshold: 0}
+	default:
+		return Sampler{threshold: uint64(rate * float64(math.MaxUint64))}
+	}
+}
+
+// Sample decides whether the request with this ID is traced.
+func (s Sampler) Sample(id string) bool {
+	switch s.threshold {
+	case math.MaxUint64:
+		return true
+	case 0:
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64() < s.threshold
+}
+
+// WithRequestID stamps the request's identity on the context. Unlike a
+// Trace it is attached to every request, sampled or not, so outbound
+// hops can forward one identity (and an unsampled traceparent that
+// suppresses downstream trace allocation) without allocating anything.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the ID set by WithRequestID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// SpanIDFrom returns the span ID the context is currently inside (the
+// ID StartSpanCtx assigned), or 0 outside any span. It is the parent-ID
+// field of an outbound traceparent header.
+func SpanIDFrom(ctx context.Context) int64 {
+	id, _ := ctx.Value(spanIDKey).(int64)
+	return id
+}
+
+// StartSpanArgs is StartSpanCtx with late annotations: the returned end
+// function accepts extra key/value pairs determined only at completion
+// (outcome, winner of a hedge race, per-hop clock offset). The kv
+// arguments given up front are recorded too.
+func StartSpanArgs(ctx context.Context, name string, kv ...string) (context.Context, func(extra ...string)) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		if !enabled.Load() {
+			return ctx, func(...string) {}
+		}
+		s := span(name)
+		t0 := time.Now()
+		return ctx, func(...string) { s.record(time.Since(t0)) }
+	}
+	var s *spanStats
+	if enabled.Load() {
+		s = span(name)
+	}
+	parent, _ := ctx.Value(spanIDKey).(int64)
+	id := tr.nextID.Add(1)
+	ctx = context.WithValue(ctx, spanIDKey, id)
+	t0 := time.Now()
+	return ctx, func(extra ...string) {
+		d := time.Since(t0)
+		if s != nil {
+			s.record(d)
+		}
+		args := kv
+		if len(extra) > 0 {
+			args = make([]string, 0, len(kv)+len(extra))
+			args = append(append(args, kv...), extra...)
+		}
+		tr.record(traceSpan{id: id, parent: parent, name: name, start: t0, dur: d, args: args})
+	}
+}
+
+// WireSpan is one completed span on the wire: the JSON shape a callee
+// returns its forest in (EvalResponse.Spans, the X-Trace-Spans
+// trailer). IDs are trace-local; Graft remaps them into the caller's
+// trace. Field names are short because hundreds ride on one response.
+type WireSpan struct {
+	ID     int64    `json:"i"`
+	Parent int64    `json:"p,omitempty"`
+	Name   string   `json:"n"`
+	Start  int64    `json:"s"` // unix nanoseconds, callee's clock
+	Dur    int64    `json:"d"` // nanoseconds
+	Args   []string `json:"a,omitempty"`
+}
+
+// Export snapshots up to max completed spans (earliest-completed first;
+// max <= 0 means all) as wire spans for the return hop.
+func (t *Trace) Export(max int) []WireSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.spans)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]WireSpan, n)
+	for i := 0; i < n; i++ {
+		s := t.spans[i]
+		out[i] = WireSpan{
+			ID: s.id, Parent: s.parent, Name: s.name,
+			Start: s.start.UnixNano(), Dur: int64(s.dur), Args: s.args,
+		}
+	}
+	return out
+}
+
+// Graft merges a remote span forest into the trace: remote IDs are
+// remapped onto this trace's ID space, remote roots (and spans whose
+// parent was truncated away) are parented under the given hop span, and
+// every start time is shifted by offset so the remote lane lines up
+// with the local timeline in one Chrome export.
+func (t *Trace) Graft(parent int64, spans []WireSpan, offset time.Duration) {
+	if len(spans) == 0 {
+		return
+	}
+	ids := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = t.nextID.Add(1)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		p, ok := ids[s.Parent]
+		if !ok || s.Parent == 0 {
+			p = parent
+		}
+		t.spans = append(t.spans, traceSpan{
+			id:     ids[s.ID],
+			parent: p,
+			name:   s.Name,
+			start:  time.Unix(0, s.Start).Add(offset),
+			dur:    time.Duration(s.Dur),
+			args:   s.Args,
+		})
+	}
+}
+
+// ClockOffset estimates the shift from the callee's clock to the
+// caller's for one hop, assuming the remote work sat centered in the
+// round trip: sentAt plus half the network residual (rtt minus the
+// remote span extent) is where the earliest remote span belongs on the
+// local timeline. Wrong by up to half the one-way network latency —
+// fine for lining up lanes in a timeline, not a clock-sync protocol.
+func ClockOffset(sentAt time.Time, rtt time.Duration, spans []WireSpan) time.Duration {
+	if len(spans) == 0 {
+		return 0
+	}
+	minStart, maxEnd := spans[0].Start, spans[0].Start+spans[0].Dur
+	for _, s := range spans[1:] {
+		if s.Start < minStart {
+			minStart = s.Start
+		}
+		if end := s.Start + s.Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	remote := time.Duration(maxEnd - minStart)
+	if remote > rtt {
+		remote = rtt
+	}
+	return sentAt.Add((rtt - remote) / 2).Sub(time.Unix(0, minStart))
+}
+
+// maxSpanHeaderBytes bounds a decoded span trailer; a value past this
+// is dropped rather than parsed.
+const maxSpanHeaderBytes = 1 << 20
+
+// EncodeSpans renders a span forest as a single header-safe token
+// (base64 of JSON) for the X-Trace-Spans trailer.
+func EncodeSpans(spans []WireSpan) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	raw, err := json.Marshal(spans)
+	if err != nil {
+		return ""
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeSpans parses an EncodeSpans token, enforcing the size and span
+// bounds (oversized forests are truncated to MaxWireSpans).
+func DecodeSpans(s string) ([]WireSpan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if len(s) > maxSpanHeaderBytes {
+		return nil, fmt.Errorf("obs: span header exceeds %d bytes", maxSpanHeaderBytes)
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("obs: decoding span header: %w", err)
+	}
+	var spans []WireSpan
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		return nil, fmt.Errorf("obs: parsing span header: %w", err)
+	}
+	if len(spans) > MaxWireSpans {
+		spans = spans[:MaxWireSpans]
+	}
+	return spans, nil
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{TraceID: "8f3a9b2c11aa00ff", ParentID: 42, Sampled: true},
+		{TraceID: "client-id-7", ParentID: 0, Sampled: false},
+		{TraceID: "a-b-c.d_e", ParentID: 1 << 40, Sampled: true},
+	}
+	for _, want := range cases {
+		got, ok := ParseTraceparent(FormatTraceparent(want))
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) failed", FormatTraceparent(want))
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-",
+		"01-abc-0000000000000001-01", // unsupported version
+		"00-abc-xyz-01",              // non-hex span ID
+		"00-abc-0000000000000001-zz", // non-hex flags
+		"00-abc-01",                  // missing field
+		"00-" + strings.Repeat("a", 65) + "-0000000000000001-01", // trace ID too long
+		"00-a b-0000000000000001-01",                             // bad charset
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "client-id-7", "A.b_C-9", strings.Repeat("x", 64)}
+	for _, s := range valid {
+		if !ValidRequestID(s) {
+			t.Errorf("ValidRequestID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", strings.Repeat("x", 65), "has space", "new\nline", "quote\"", "semi;colon", "slash/"}
+	for _, s := range invalid {
+		if ValidRequestID(s) {
+			t.Errorf("ValidRequestID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestSamplerDeterministicAndBounded(t *testing.T) {
+	all, none := NewSampler(1), NewSampler(0)
+	if !all.Sample("x") || none.Sample("x") {
+		t.Fatal("rate-1 sampler must keep everything, rate-0 nothing")
+	}
+	half := NewSampler(0.5)
+	kept := 0
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		a, b := half.Sample(id), half.Sample(id)
+		if a != b {
+			t.Fatalf("sampler not deterministic for %q", id)
+		}
+		if a {
+			kept++
+		}
+	}
+	if kept < 350 || kept > 650 {
+		t.Errorf("rate-0.5 sampler kept %d/1000, want roughly half", kept)
+	}
+}
+
+func TestExportGraftParentage(t *testing.T) {
+	// Remote side: a root with one child.
+	remote := NewTrace("remote")
+	rctx := WithTrace(context.Background(), remote)
+	rctx, endRoot := StartSpanCtx(rctx, "worker.request")
+	_, endChild := StartSpanCtx(rctx, "worker.eval")
+	endChild()
+	endRoot()
+	wire := remote.Export(MaxWireSpans)
+	if len(wire) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(wire))
+	}
+
+	// Local side: graft under a hop span.
+	local := NewTrace("local")
+	lctx := WithTrace(context.Background(), local)
+	lctx, endHop := StartSpanArgs(lctx, "router.forward", "shard", "s1")
+	hopID := SpanIDFrom(lctx)
+	local.Graft(hopID, wire, 0)
+	endHop("status", "200")
+
+	spans := local.Spans()
+	byName := map[string]SpanInfo{}
+	ids := map[int64]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		ids[s.ID] = s
+	}
+	root, ok := byName["worker.request"]
+	if !ok {
+		t.Fatal("grafted root missing")
+	}
+	if root.Parent != hopID {
+		t.Errorf("grafted root parent = %d, want hop span %d", root.Parent, hopID)
+	}
+	child := byName["worker.eval"]
+	if child.Parent != root.ID {
+		t.Errorf("grafted child parent = %d, want remapped root %d", child.Parent, root.ID)
+	}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := ids[s.Parent]; !ok {
+				t.Errorf("span %q has dangling parent %d", s.Name, s.Parent)
+			}
+		}
+	}
+}
+
+func TestGraftClockOffsetShiftsStarts(t *testing.T) {
+	sentAt := time.Now()
+	// A remote span stamped one hour in the "future" relative to the
+	// caller's clock.
+	skew := time.Hour
+	wire := []WireSpan{{ID: 1, Name: "w", Start: sentAt.Add(skew).UnixNano(), Dur: int64(time.Millisecond)}}
+	off := ClockOffset(sentAt, 3*time.Millisecond, wire)
+	local := NewTrace("local")
+	local.Graft(0, wire, off)
+	got := local.Spans()[0].Start
+	if d := got.Sub(sentAt); d < 0 || d > 10*time.Millisecond {
+		t.Errorf("grafted span lands %v after send, want within the rtt", d)
+	}
+}
+
+func TestEncodeDecodeSpans(t *testing.T) {
+	spans := []WireSpan{
+		{ID: 1, Name: "a", Start: 100, Dur: 50, Args: []string{"k", "v"}},
+		{ID: 2, Parent: 1, Name: "b", Start: 120, Dur: 10},
+	}
+	got, err := DecodeSpans(EncodeSpans(spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Parent != 1 || got[0].Args[1] != "v" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if s, err := DecodeSpans(""); err != nil || s != nil {
+		t.Errorf("empty token: got %v, %v", s, err)
+	}
+	if _, err := DecodeSpans("not base64!!"); err == nil {
+		t.Error("want error for invalid base64")
+	}
+}
+
+func TestStartSpanArgsExtras(t *testing.T) {
+	tr := NewTrace("t")
+	ctx := WithTrace(context.Background(), tr)
+	_, end := StartSpanArgs(ctx, "cluster.pool_attempt", "hedge", "true")
+	end("outcome", "ok")
+	s := tr.Spans()[0]
+	want := []string{"hedge", "true", "outcome", "ok"}
+	if len(s.Args) != len(want) {
+		t.Fatalf("args = %v, want %v", s.Args, want)
+	}
+	for i := range want {
+		if s.Args[i] != want[i] {
+			t.Fatalf("args = %v, want %v", s.Args, want)
+		}
+	}
+}
+
+func TestTraceStoreRetention(t *testing.T) {
+	st := NewTraceStore(4)
+	add := func(id string, errFlag, keep bool) {
+		st.Add(NewTrace(id), TraceMeta{ID: id, Kind: "request", Route: "/v1/predict", Err: errFlag, Keep: keep, Start: time.Now()})
+	}
+	// Errors and kept traces survive arbitrary sampled churn.
+	add("err-1", true, false)
+	add("keep-1", false, true)
+	for i := 0; i < 100; i++ {
+		add(NewTraceID(), false, false)
+	}
+	if _, _, ok := st.Get("err-1"); !ok {
+		t.Error("error trace evicted by sampled churn")
+	}
+	if _, _, ok := st.Get("keep-1"); !ok {
+		t.Error("kept trace evicted by sampled churn")
+	}
+	sums := st.Snapshot("")
+	classes := map[string]int{}
+	for _, s := range sums {
+		classes[s.Class]++
+	}
+	if classes["sampled"] > 4 {
+		t.Errorf("reservoir holds %d traces, cap 4", classes["sampled"])
+	}
+	// FIFO within the error class.
+	for i := 0; i < 6; i++ {
+		add(NewTraceID()+"-err", true, false)
+	}
+	if _, _, ok := st.Get("err-1"); ok {
+		t.Error("oldest error not evicted FIFO at capacity")
+	}
+	// Route filter.
+	st.Add(NewTrace("other-route"), TraceMeta{ID: "other-route", Kind: "request", Route: "/v1/search", Err: true, Start: time.Now()})
+	for _, s := range st.Snapshot("/v1/search") {
+		if s.Route != "/v1/search" {
+			t.Errorf("route filter leaked %q", s.Route)
+		}
+	}
+}
+
+func TestTraceStoreHandler(t *testing.T) {
+	st := NewTraceStore(8)
+	tr := NewTrace("handler-trace")
+	ctx := WithTrace(context.Background(), tr)
+	_, end := StartSpanCtx(ctx, "serve.search")
+	end()
+	st.Add(tr, TraceMeta{ID: "handler-trace", Kind: "request", Route: "/v1/search", Status: 200, Start: time.Now(), Dur: time.Millisecond})
+
+	h := st.Handler()
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+	if rec := get("/tracez?format=json"); !strings.Contains(rec.Body.String(), `"id":"handler-trace"`) {
+		t.Errorf("list json missing trace: %s", rec.Body.String())
+	}
+	if rec := get("/tracez?id=handler-trace&format=json"); !strings.Contains(rec.Body.String(), `"name":"serve.search"`) {
+		t.Errorf("detail json missing span: %s", rec.Body.String())
+	}
+	if rec := get("/tracez?id=handler-trace&format=chrome"); !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+		t.Errorf("chrome export malformed: %s", rec.Body.String())
+	}
+	if rec := get("/tracez"); !strings.Contains(rec.Body.String(), "handler-trace") {
+		t.Error("html list missing trace")
+	}
+	if rec := get("/tracez?id=nope"); rec.Code != 404 {
+		t.Errorf("missing trace: code %d, want 404", rec.Code)
+	}
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	Reset()
+	defer Reset()
+	h := NewHistogram("test.exemplar_seconds", []float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, "trace-abc")
+	h.Observe(0.5) // no exemplar on this bucket
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="trace-abc"} 0.05`) {
+		t.Errorf("exposition missing exemplar:\n%s", out)
+	}
+	if ex, ok := h.LatestExemplar(); !ok || ex.TraceID != "trace-abc" {
+		t.Errorf("LatestExemplar = %+v, %v", ex, ok)
+	}
+}

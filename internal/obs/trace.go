@@ -109,6 +109,7 @@ type ctxKey int
 const (
 	traceKey ctxKey = iota
 	spanIDKey
+	requestIDKey
 )
 
 // WithTrace returns a context carrying the trace; StartSpanCtx calls

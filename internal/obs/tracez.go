@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceStore is a bounded in-memory store behind /tracez with
+// tail-based retention: the keep/drop decision happens after the
+// request finishes, when its outcome is known. Three classes, each
+// capped at the store size — errors are always kept (FIFO within the
+// class), traces the caller flags Keep (latency outliers past the
+// windowed p99, background retrains) likewise, and everything else goes
+// through a reservoir sample so the boring majority is represented
+// without unbounded memory.
+type TraceStore struct {
+	cap int
+
+	mu      sync.Mutex
+	errors  []storedTrace // newest last, FIFO eviction
+	kept    []storedTrace // newest last, FIFO eviction
+	sampled []storedTrace // reservoir (algorithm R)
+	offered int64         // traces offered to the reservoir so far
+	rng     *rand.Rand
+}
+
+type storedTrace struct {
+	meta TraceMeta
+	tr   *Trace
+}
+
+// TraceMeta is the retention-relevant summary of one finished trace.
+type TraceMeta struct {
+	ID     string
+	Kind   string // "request" or "retrain"
+	Route  string // route label (requests) or model name (retrains)
+	Status int    // HTTP status; 0 when not applicable
+	Start  time.Time
+	Dur    time.Duration
+	Err    bool // errors are always retained
+	Keep   bool // forced retention: latency outlier, retrain
+}
+
+// NewTraceStore builds a store keeping up to size traces per retention
+// class (minimum 1).
+func NewTraceStore(size int) *TraceStore {
+	if size < 1 {
+		size = 1
+	}
+	return &TraceStore{cap: size, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// Add offers a finished trace for retention. Nil traces are ignored.
+func (s *TraceStore) Add(tr *Trace, meta TraceMeta) {
+	if s == nil || tr == nil {
+		return
+	}
+	st := storedTrace{meta: meta, tr: tr}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case meta.Err:
+		s.errors = appendFIFO(s.errors, st, s.cap)
+	case meta.Keep:
+		s.kept = appendFIFO(s.kept, st, s.cap)
+	default:
+		s.offered++
+		if len(s.sampled) < s.cap {
+			s.sampled = append(s.sampled, st)
+		} else if j := s.rng.Int63n(s.offered); j < int64(s.cap) {
+			s.sampled[j] = st
+		}
+	}
+}
+
+func appendFIFO(list []storedTrace, st storedTrace, cap int) []storedTrace {
+	list = append(list, st)
+	if len(list) > cap {
+		copy(list, list[1:])
+		list = list[:len(list)-1]
+	}
+	return list
+}
+
+// Get returns the stored trace with the given ID.
+func (s *TraceStore) Get(id string) (*Trace, TraceMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, class := range [][]storedTrace{s.errors, s.kept, s.sampled} {
+		// Newest first so a recycled request ID resolves to the latest trace.
+		for i := len(class) - 1; i >= 0; i-- {
+			if class[i].meta.ID == id {
+				return class[i].tr, class[i].meta, true
+			}
+		}
+	}
+	return nil, TraceMeta{}, false
+}
+
+// TraceSummary is the /tracez list-view row.
+type TraceSummary struct {
+	ID     string  `json:"id"`
+	Kind   string  `json:"kind"`
+	Route  string  `json:"route,omitempty"`
+	Status int     `json:"status,omitempty"`
+	Class  string  `json:"class"` // error | kept | sampled
+	Start  string  `json:"start"`
+	DurMS  float64 `json:"dur_ms"`
+	Spans  int     `json:"spans"`
+}
+
+// Snapshot lists retained traces (errors, then kept, then sampled;
+// newest first within each class), optionally filtered by route.
+func (s *TraceStore) Snapshot(route string) []TraceSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(s.errors)+len(s.kept)+len(s.sampled))
+	for _, c := range []struct {
+		name string
+		list []storedTrace
+	}{{"error", s.errors}, {"kept", s.kept}, {"sampled", s.sampled}} {
+		for i := len(c.list) - 1; i >= 0; i-- {
+			st := c.list[i]
+			if route != "" && st.meta.Route != route {
+				continue
+			}
+			out = append(out, TraceSummary{
+				ID:     st.meta.ID,
+				Kind:   st.meta.Kind,
+				Route:  st.meta.Route,
+				Status: st.meta.Status,
+				Class:  c.name,
+				Start:  st.meta.Start.UTC().Format(time.RFC3339Nano),
+				DurMS:  float64(st.meta.Dur) / float64(time.Millisecond),
+				Spans:  st.tr.Len(),
+			})
+		}
+	}
+	return out
+}
+
+// Handler serves the store: HTML list by default, ?format=json for the
+// machine view (&route= filters), ?id= for one trace (HTML span tree,
+// &format=json, or &format=chrome for a chrome://tracing download).
+func (s *TraceStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		if id := q.Get("id"); id != "" {
+			s.serveTrace(w, id, q.Get("format"))
+			return
+		}
+		sums := s.Snapshot(q.Get("route"))
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Traces []TraceSummary `json:"traces"`
+			}{sums})
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		tracezTmpl.Execute(w, struct {
+			Traces []TraceSummary
+			Now    string
+		}{sums, time.Now().UTC().Format(time.RFC3339)})
+	})
+}
+
+// spanRow is one span in the detail views, pre-ordered depth-first.
+type spanRow struct {
+	ID       int64    `json:"id"`
+	Parent   int64    `json:"parent,omitempty"`
+	Name     string   `json:"name"`
+	OffsetUS int64    `json:"offset_us"` // start relative to earliest span
+	DurUS    int64    `json:"dur_us"`
+	Depth    int      `json:"depth"`
+	Args     []string `json:"args,omitempty"`
+}
+
+func (s *TraceStore) serveTrace(w http.ResponseWriter, id, format string) {
+	tr, meta, ok := s.Get(id)
+	if !ok {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	switch format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+		tr.WriteChromeTrace(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			ID     string    `json:"id"`
+			Kind   string    `json:"kind"`
+			Route  string    `json:"route,omitempty"`
+			Status int       `json:"status,omitempty"`
+			Start  string    `json:"start"`
+			DurMS  float64   `json:"dur_ms"`
+			Spans  []spanRow `json:"spans"`
+		}{
+			ID: meta.ID, Kind: meta.Kind, Route: meta.Route, Status: meta.Status,
+			Start: meta.Start.UTC().Format(time.RFC3339Nano),
+			DurMS: float64(meta.Dur) / float64(time.Millisecond),
+			Spans: spanTree(tr),
+		})
+	default:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		tracezDetailTmpl.Execute(w, struct {
+			Meta  TraceMeta
+			Start string
+			DurMS float64
+			Spans []spanRow
+		}{meta, meta.Start.UTC().Format(time.RFC3339Nano), float64(meta.Dur) / float64(time.Millisecond), spanTree(tr)})
+	}
+}
+
+// spanTree orders a trace's spans depth-first (children under parents,
+// siblings by start time) and annotates depth for indentation. Spans
+// whose parent is missing are treated as roots, matching
+// WriteChromeTrace.
+func spanTree(tr *Trace) []spanRow {
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	min := spans[0].Start
+	ids := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = true
+		if s.Start.Before(min) {
+			min = s.Start
+		}
+	}
+	children := make(map[int64][]SpanInfo)
+	var roots []SpanInfo
+	for _, s := range spans {
+		if s.Parent != 0 && ids[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []SpanInfo) {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+	}
+	byStart(roots)
+	out := make([]spanRow, 0, len(spans))
+	var walk func(s SpanInfo, depth int)
+	walk = func(s SpanInfo, depth int) {
+		out = append(out, spanRow{
+			ID: s.ID, Parent: s.Parent, Name: s.Name,
+			OffsetUS: s.Start.Sub(min).Microseconds(),
+			DurUS:    s.Dur.Microseconds(),
+			Depth:    depth,
+			Args:     s.Args,
+		})
+		cs := children[s.ID]
+		byStart(cs)
+		for _, c := range cs {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+var tracezFuncs = template.FuncMap{
+	"indent": func(depth int) template.CSS {
+		return template.CSS(fmt.Sprintf("padding-left:%dpx", 8+depth*18))
+	},
+	"join": func(args []string) string {
+		if len(args) == 0 {
+			return ""
+		}
+		var b strings.Builder
+		for i := 0; i+1 < len(args); i += 2 {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", args[i], args[i+1])
+		}
+		if len(args)%2 == 1 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(args[len(args)-1])
+		}
+		return b.String()
+	},
+}
+
+var tracezTmpl = template.Must(template.New("tracez").Funcs(tracezFuncs).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>tracez</title>
+<style>
+body{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;font-size:13px;margin:24px;color:#222}
+h1{font-size:18px} h2{font-size:15px;margin-top:24px}
+table{border-collapse:collapse;margin-top:8px}
+td,th{border:1px solid #ccc;padding:3px 8px;text-align:left}
+th{background:#f2f2f2}
+.ok{color:#0a0} .bad{color:#c00;font-weight:bold} .muted{color:#888}
+a{color:#06c;text-decoration:none} a:hover{text-decoration:underline}
+</style></head><body>
+<h1>tracez</h1>
+<p class="muted">retained traces, tail-sampled · {{.Now}} · <a href="/tracez?format=json">json</a> · <a href="/statusz">statusz</a></p>
+<table>
+<tr><th>trace</th><th>class</th><th>kind</th><th>route</th><th>status</th><th>start</th><th>ms</th><th>spans</th><th></th></tr>
+{{range .Traces}}<tr>
+<td><a href="/tracez?id={{.ID}}">{{.ID}}</a></td>
+<td>{{if eq .Class "error"}}<span class="bad">{{.Class}}</span>{{else}}{{.Class}}{{end}}</td>
+<td>{{.Kind}}</td><td>{{.Route}}</td>
+<td>{{if .Status}}{{if ge .Status 500}}<span class="bad">{{.Status}}</span>{{else}}<span class="ok">{{.Status}}</span>{{end}}{{else}}<span class="muted">-</span>{{end}}</td>
+<td class="muted">{{.Start}}</td><td>{{printf "%.2f" .DurMS}}</td><td>{{.Spans}}</td>
+<td><a href="/tracez?id={{.ID}}&amp;format=chrome">chrome</a></td>
+</tr>{{else}}<tr><td colspan="9" class="muted">no traces retained yet</td></tr>{{end}}
+</table>
+</body></html>
+`))
+
+var tracezDetailTmpl = template.Must(template.New("tracezDetail").Funcs(tracezFuncs).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>trace {{.Meta.ID}}</title>
+<style>
+body{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;font-size:13px;margin:24px;color:#222}
+h1{font-size:18px}
+table{border-collapse:collapse;margin-top:8px}
+td,th{border:1px solid #ccc;padding:3px 8px;text-align:left}
+th{background:#f2f2f2}
+.muted{color:#888}
+a{color:#06c;text-decoration:none} a:hover{text-decoration:underline}
+</style></head><body>
+<h1>trace {{.Meta.ID}}</h1>
+<p class="muted">{{.Meta.Kind}} {{.Meta.Route}}{{if .Meta.Status}} · status {{.Meta.Status}}{{end}} · {{.Start}} · {{printf "%.2f" .DurMS}} ms ·
+<a href="/tracez?id={{.Meta.ID}}&amp;format=json">json</a> ·
+<a href="/tracez?id={{.Meta.ID}}&amp;format=chrome">chrome export</a> ·
+<a href="/tracez">back</a></p>
+<table>
+<tr><th>span</th><th>offset µs</th><th>dur µs</th><th>args</th></tr>
+{{range .Spans}}<tr>
+<td style="{{indent .Depth}}">{{.Name}}</td>
+<td>{{.OffsetUS}}</td><td>{{.DurUS}}</td>
+<td class="muted">{{join .Args}}</td>
+</tr>{{end}}
+</table>
+</body></html>
+`))

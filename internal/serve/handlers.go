@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -490,7 +491,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	_, end := obs.StartSpanCtx(r.Context(), "serve.search")
+	ctx, end := obs.StartSpanCtx(r.Context(), "serve.search")
 	defer end()
 	var req searchRequest
 	if !s.readJSON(w, r, &req) {
@@ -533,6 +534,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cSearches.Inc()
+	// A pool-backed evaluator is re-bound to the request context so its
+	// worker hops carry this request's trace (or its unsampled identity).
+	if b, ok := ev.(interface {
+		Bind(context.Context) core.Evaluator
+	}); ok {
+		ev = b.Bind(ctx)
+	}
 	res, err := search.Minimize(entry.Model, ev, search.Options{
 		Space:      entry.Model.Space,
 		GridLevels: req.GridLevels,

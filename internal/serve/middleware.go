@@ -36,6 +36,7 @@ var routes = map[string]bool{
 	"/alertz":         true,
 	"/statusz":        true,
 	"/metricz":        true,
+	"/tracez":         true,
 	"/v1/models":      true,
 	"/v1/models/load": true,
 	"/v1/predict":     true,
@@ -50,6 +51,7 @@ var sloExempt = map[string]bool{
 	"/readyz":  true,
 	"/alertz":  true,
 	"/statusz": true,
+	"/tracez":  true,
 }
 
 // routeLabel normalizes a request path to a bounded label value.
@@ -124,34 +126,77 @@ func (l *accessLog) log(e accessEntry) {
 }
 
 // requestIDHeader is the header predserve reads and echoes on every
-// request; it doubles as the request's trace ID.
+// request; it doubles as the request's trace ID. Client-supplied values
+// are validated (obs.ValidRequestID: 1–64 chars of [A-Za-z0-9._-])
+// before being echoed into headers, access logs, and trace IDs; anything
+// else is replaced with a generated ID.
 const requestIDHeader = "X-Request-Id"
 
-// withObs is the outermost middleware: it assigns (or respects) the
-// request ID, attaches a request-scoped obs.Trace to the context so
-// handler spans parent under the request, tracks the in-flight gauge,
-// and — once the inner chain returns — records the per-route latency
-// histogram, the route × code response counter, and the access-log
-// line. It wraps the timeout handler, so a timed-out request is logged
-// with its real 503 and its full duration.
+// withObs is the outermost middleware: it assigns (or respects, after
+// validation) the request ID, decides whether this request records a
+// distributed trace, tracks the in-flight gauge, and — once the inner
+// chain returns — records the per-route latency histogram (with a trace
+// exemplar when traced), the route × code response counter, the
+// access-log line, and offers the finished trace to the /tracez store.
+// It wraps the timeout handler, so a timed-out request is logged with
+// its real 503 and its full duration.
+//
+// The sampling decision: an inbound traceparent header (router-fronted
+// deployments) carries the edge's bit and is authoritative — a sampled
+// remote hop records spans without a local root (the forest returns to
+// the caller on the X-Trace-Spans trailer and grafts under its hop
+// span), an unsampled one allocates no trace at all. Edge requests go
+// through the local sampler and get a "serve.request" root span.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		id := r.Header.Get(requestIDHeader)
-		if id == "" {
+		if !obs.ValidRequestID(id) {
 			id = obs.NewTraceID()
 		}
 		w.Header().Set(requestIDHeader, id)
-		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(id)))
+		route := routeLabel(r.URL.Path)
+		ctx := obs.WithRequestID(r.Context(), id)
+
+		sc, remote := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		sampled := sc.Sampled
+		if !remote {
+			sampled = s.sampler.Sample(id)
+		}
+		var tr *obs.Trace
+		endRoot := func() {}
+		if sampled {
+			tid := id
+			if remote && sc.TraceID != "" {
+				tid = sc.TraceID
+			}
+			tr = obs.NewTrace(tid)
+			ctx = obs.WithTrace(ctx, tr)
+			if remote {
+				// Declare the span-return trailer before any write; the
+				// value is set after the inner chain finishes.
+				w.Header().Add("Trailer", obs.SpanTrailerHeader)
+			} else {
+				ctx, endRoot = obs.StartSpanCtx(ctx, "serve.request", "route", route)
+			}
+		}
+		r = r.WithContext(ctx)
 
 		gInflight.Inc()
 		defer gInflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
+		endRoot()
 
 		d := time.Since(t0)
-		route := routeLabel(r.URL.Path)
-		hRequests.With(route).Observe(d.Seconds())
+		if tr != nil {
+			if remote {
+				w.Header().Set(obs.SpanTrailerHeader, obs.EncodeSpans(tr.Export(obs.MaxWireSpans)))
+			}
+			hRequests.With(route).ObserveWithExemplar(d.Seconds(), tr.ID())
+		} else {
+			hRequests.With(route).Observe(d.Seconds())
+		}
 		if !sloExempt[route] {
 			hAllRequests.Observe(d.Seconds())
 			cRequestsTotal.Inc()
@@ -160,6 +205,12 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 			}
 		}
 		cResponses.With(route, strconv.Itoa(sw.status)).Inc()
+		if tr != nil {
+			s.traces.Add(tr, obs.TraceMeta{
+				ID: tr.ID(), Kind: "request", Route: route, Status: sw.status,
+				Start: t0, Dur: d, Err: sw.status >= 500, Keep: s.slowOutlier(route, d),
+			})
+		}
 		s.access.log(accessEntry{
 			Time:      t0.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 			ID:        id,
@@ -172,4 +223,16 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 			UserAgent: r.UserAgent(),
 		})
 	})
+}
+
+// slowOutlier flags a latency-quantile outlier for tail retention: a
+// request slower than its route's recent windowed p99, once the window
+// holds enough samples to make the quantile meaningful.
+func (s *Server) slowOutlier(route string, d time.Duration) bool {
+	w, ok := s.wRoutes[route]
+	if !ok {
+		return false
+	}
+	st := w.StatsOver(5 * time.Minute)
+	return st.Count >= 20 && d.Seconds() > st.P99
 }

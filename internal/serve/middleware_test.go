@@ -70,6 +70,35 @@ func TestRequestIDMiddleware(t *testing.T) {
 	}
 }
 
+// TestRequestIDValidation: a client-supplied X-Request-Id outside the
+// safe charset/length is replaced with a generated ID rather than
+// echoed into headers, logs, and trace IDs.
+func TestRequestIDValidation(t *testing.T) {
+	_, ts, logBuf := newObsTestServer(t)
+
+	gen := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, bad := range []string{
+		strings.Repeat("x", 65),                           // over the length clamp
+		"spaces are bad", "semi;colon", `quote"injection`, // outside the charset
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		req.Header.Set("X-Request-Id", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got == bad || !gen.MatchString(got) {
+			t.Errorf("invalid id %q echoed as %q, want a generated 16-hex id", bad, got)
+		}
+	}
+	for _, e := range parseAccessLog(t, logBuf) {
+		if !gen.MatchString(e.ID) {
+			t.Errorf("invalid client id leaked into the access log: %q", e.ID)
+		}
+	}
+}
+
 func parseAccessLog(t *testing.T, buf *bytes.Buffer) []accessEntry {
 	t.Helper()
 	var out []accessEntry

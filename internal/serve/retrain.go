@@ -92,6 +92,7 @@ type retrainController struct {
 	reg    *Registry
 	shadow *shadowMonitor
 	clock  obs.Clock
+	traces *obs.TraceStore // retrain traces register here (nil drops them)
 
 	// Test seams: evaluatorFor resolves a model's simulator evaluator
 	// (default Entry.simEvaluator) and build runs the escalation
@@ -235,11 +236,19 @@ func (c *retrainController) run(e *Entry, attempt int64) {
 	// Each attempt gets its own trace, so the escalation's build spans
 	// (core.build_rbf, core.sample, core.simulate, core.fit) nest under
 	// serve.retrain both in the span aggregates and on the trace.
-	ctx := obs.WithTrace(c.ctx, obs.NewTrace(fmt.Sprintf("retrain-%s-%d", e.Name, attempt)))
+	t0 := time.Now()
+	tr := obs.NewTrace(fmt.Sprintf("retrain-%s-%d", e.Name, attempt))
+	ctx := obs.WithTrace(c.ctx, tr)
 	ctx, end := obs.StartSpanCtx(ctx, "serve.retrain", "model", e.Name)
 	outcome, size, err := c.retrain(ctx, e, attempt)
 	end()
 	cRetrains.With(e.Name, outcome).Inc()
+	// Retrains are rare, long, and operationally interesting: every one
+	// is pinned in the /tracez store (Keep), never reservoir-evicted.
+	c.traces.Add(tr, obs.TraceMeta{
+		ID: tr.ID(), Kind: "retrain", Route: e.Name,
+		Start: t0, Dur: time.Since(t0), Err: err != nil, Keep: true,
+	})
 
 	now := c.clock()
 	c.mu.Lock()

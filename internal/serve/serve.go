@@ -11,6 +11,7 @@
 //	POST /v1/models/load  hot-load a persisted model into the registry
 //	GET  /healthz         liveness + registry size
 //	GET  /metricz         internal/obs counters and spans as JSON
+//	GET  /tracez          tail-sampled distributed trace store
 //
 // Production behaviors live here rather than in the CLI: an RWMutex
 // model registry with lazy per-model simulator evaluators, a bounded
@@ -167,6 +168,15 @@ type Options struct {
 	// bit-identical to local simulation. cmd/predserve builds the pool
 	// from -sim-workers.
 	SimPool *cluster.Pool
+	// TraceSample is the head-sampling rate for distributed traces: the
+	// fraction of edge requests that record a request-scoped trace
+	// (default 1.0, trace everything; negative disables tracing). The
+	// decision is made once at the edge — an inbound traceparent header
+	// carries it downstream instead.
+	TraceSample float64
+	// TraceStoreSize bounds each retention class of the /tracez store
+	// (errors, kept outliers, reservoir sample) in traces (default 64).
+	TraceStoreSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -241,6 +251,12 @@ func (o Options) withDefaults() Options {
 	if o.RetrainWorkers <= 0 {
 		o.RetrainWorkers = 1
 	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 1
+	}
+	if o.TraceStoreSize <= 0 {
+		o.TraceStoreSize = 64
+	}
 	return o
 }
 
@@ -266,6 +282,11 @@ type Server struct {
 	shadow   *shadowMonitor
 	coalesce *coalescer
 	retrain  *retrainController
+
+	// Distributed tracing: the edge head-sampler and the tail-retention
+	// trace store behind /tracez.
+	sampler obs.Sampler
+	traces  *obs.TraceStore
 }
 
 // New builds a Server with an empty registry. Load models through
@@ -283,6 +304,8 @@ func New(opt Options) *Server {
 		access: newAccessLog(opt.AccessLog),
 		clock:  opt.Clock,
 	}
+	s.sampler = obs.NewSampler(opt.TraceSample)
+	s.traces = obs.NewTraceStore(opt.TraceStoreSize)
 	if opt.SimPool != nil {
 		s.reg.SetEvalFactory(func(benchmark string, traceLen int) (core.Evaluator, error) {
 			return cluster.NewRemoteEvaluator(opt.SimPool, benchmark, traceLen, cluster.RemoteOptions{}), nil
@@ -327,6 +350,7 @@ func New(opt Options) *Server {
 	s.shadow = newShadowMonitor(opt, s.clock)
 	s.coalesce = newCoalescer(opt.CoalesceWindow, opt.CoalesceMax, opt.CoalesceQueue, s.predictBatch)
 	s.retrain = newRetrainController(opt, s.reg, s.shadow, s.clock)
+	s.retrain.traces = s.traces
 	if opt.Retrain {
 		obs.NewGaugeFunc("serve.retrains_inflight", func() float64 { return float64(s.retrain.inflightCount()) })
 	}
@@ -342,6 +366,9 @@ func New(opt Options) *Server {
 // Registry exposes the model registry for loading and inspection.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Traces exposes the /tracez trace store (tests and embedding callers).
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
+
 // Handler returns the full API handler: the route mux wrapped with the
 // per-request timeout, wrapped in turn with the observability middleware
 // (request-ID assignment + request-scoped trace, per-route latency
@@ -356,6 +383,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/alertz", s.handleAlertz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.Handle("/tracez", s.traces.Handler())
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/models/load", s.handleModelsLoad)
 	mux.HandleFunc("/v1/predict", s.handlePredict)

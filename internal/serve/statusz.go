@@ -69,6 +69,7 @@ type routeRow struct {
 	P90       string
 	P99       string
 	Sparkline template.HTML
+	TraceID   string // most recent latency-histogram exemplar, "" if none
 }
 
 var statuszTmpl = template.Must(template.New("statusz").Parse(`<!DOCTYPE html>
@@ -153,7 +154,7 @@ svg.spark { vertical-align: middle; }
 
 <h2>Routes (windows: {{.Windows}}; quantiles over 5m; sparkline: requests per 10s over 1h)</h2>
 <table>
-<tr><th>route</th><th class="num">req 1m</th><th class="num">req 5m</th><th class="num">req 1h</th><th class="num">rate/s 1m</th><th class="num">p50 ms</th><th class="num">p90 ms</th><th class="num">p99 ms</th><th>traffic</th></tr>
+<tr><th>route</th><th class="num">req 1m</th><th class="num">req 5m</th><th class="num">req 1h</th><th class="num">rate/s 1m</th><th class="num">p50 ms</th><th class="num">p90 ms</th><th class="num">p99 ms</th><th>traffic</th><th>recent trace</th></tr>
 {{range .Routes}}
 <tr>
 <td>{{.Route}}</td>
@@ -161,6 +162,7 @@ svg.spark { vertical-align: middle; }
 <td class="num">{{.Rate1m}}</td>
 <td class="num">{{.P50}}</td><td class="num">{{.P90}}</td><td class="num">{{.P99}}</td>
 <td>{{.Sparkline}}</td>
+<td>{{if .TraceID}}<a href="/tracez?id={{.TraceID}}">{{printf "%.16s" .TraceID}}</a>{{else}}<span class="muted">–</span>{{end}}</td>
 </tr>
 {{end}}
 </table>
@@ -194,7 +196,7 @@ svg.spark { vertical-align: middle; }
 </table>
 {{else}}<p class="muted">nothing has fired</p>{{end}}
 
-<p class="muted">JSON: <a href="/healthz">/healthz</a> &middot; <a href="/readyz">/readyz</a> &middot; <a href="/alertz">/alertz</a> &middot; <a href="/metricz">/metricz</a> &middot; <a href="/metricz?format=prom">/metricz?format=prom</a></p>
+<p class="muted">JSON: <a href="/healthz">/healthz</a> &middot; <a href="/readyz">/readyz</a> &middot; <a href="/alertz">/alertz</a> &middot; <a href="/metricz">/metricz</a> &middot; <a href="/metricz?format=prom">/metricz?format=prom</a> &middot; <a href="/tracez">/tracez</a></p>
 </body>
 </html>
 `))
@@ -318,6 +320,9 @@ func (s *Server) statuszData() statuszData {
 			P99:       msString(st5.P99, empty),
 			Sparkline: sparklineSVG(w.Series(time.Hour)),
 		})
+		if ex, ok := hRequests.With(r).LatestExemplar(); ok {
+			d.Routes[len(d.Routes)-1].TraceID = ex.TraceID
+		}
 	}
 	return d
 }

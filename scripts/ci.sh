@@ -94,6 +94,8 @@ grep -q '_bucket{' "$smoke_dir/metricz.prom"
 grep -q '^serve_http_request_seconds_count' "$smoke_dir/metricz.prom"
 grep -q 'window="5m"' "$smoke_dir/metricz.prom"
 grep -q '^slo_burn_rate' "$smoke_dir/metricz.prom"
+# Traced requests leave OpenMetrics exemplars on the latency buckets.
+grep -q 'trace_id=' "$smoke_dir/metricz.prom"
 # With -shadow-frac 1.0 the served prediction is re-simulated in the
 # background; wait for its error to land in the per-model histogram.
 shadow_ok=""
@@ -268,7 +270,10 @@ fi
 worker_pids="$w2_pid"
 grep -q '"name":"mcf"' "$smoke_dir/models3/mcf.json"
 # A predserve shard over the farm-built model, fronted by the router.
+# The shard's simulator consumers fan out to the surviving worker so a
+# simulator-verified search crosses all three roles in one trace.
 "$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models3" \
+    -sim-workers "$w2" -search-insts 2000 \
     > "$smoke_dir/shard.log" 2>&1 &
 shard_pid=$!
 worker_pids="$worker_pids $shard_pid"
@@ -298,6 +303,23 @@ grep -q '"value"' "$smoke_dir/routed.json"
 curl -fsS "http://$router/v1/models" | grep -q '"mcf"'
 curl -fsS "http://$router/statusz" > "$smoke_dir/router-statusz.html"
 grep -q 'predrouter' "$smoke_dir/router-statusz.html"
+# A simulator-verified search through the router crosses every role
+# (router → shard → worker); the router's /tracez must hold ONE merged
+# trace whose span forest spans all three.
+curl -fsS -X POST "http://$router/v1/search" \
+    -d '{"model":"mcf","verify":"sim"}' > "$smoke_dir/routed-search.json"
+grep -q '"best"' "$smoke_dir/routed-search.json"
+grep -q '"verified_by": "simulator"' "$smoke_dir/routed-search.json"
+curl -fsS "http://$router/tracez?format=json&route=/v1/search" > "$smoke_dir/tracez.json"
+tid=$(grep -o '"id":"[^"]*"' "$smoke_dir/tracez.json" | head -1 | cut -d'"' -f4)
+[ -n "$tid" ] || { echo "router /tracez holds no /v1/search trace" >&2; cat "$smoke_dir/tracez.json" >&2; exit 1; }
+curl -fsS "http://$router/tracez?id=$tid&format=json" > "$smoke_dir/trace.json"
+grep -q '"router.forward"' "$smoke_dir/trace.json"
+grep -q '"serve.search"' "$smoke_dir/trace.json"
+grep -q '"cluster.worker_eval"' "$smoke_dir/trace.json"
+# The merged trace exports as one loadable Chrome timeline.
+curl -fsS "http://$router/tracez?id=$tid&format=chrome" > "$smoke_dir/routed-trace.json"
+grep -q '"traceEvents"' "$smoke_dir/routed-trace.json"
 # Clean SIGTERM drain of every role.
 for pid in $router_pid $shard_pid $w2_pid; do
     kill -TERM "$pid"
@@ -318,6 +340,8 @@ echo "== obs overhead report =="
 go run ./cmd/benchobs -iters 100000 -repeats 1 -sample 20 -insts 5000 \
     -out "$smoke_dir/BENCH_obs.json" > /dev/null
 grep -q '"ops_ns"' "$smoke_dir/BENCH_obs.json"
+grep -q '"request_sampled_off"' "$smoke_dir/BENCH_obs.json"
+grep -q '"trace_store_retention"' "$smoke_dir/BENCH_obs.json"
 
 echo "== predict throughput report =="
 go run ./cmd/benchpredict -insts 2000 -sample 12 -lhs 4 -mintime 10ms \
