@@ -11,6 +11,12 @@
 // nanoseconds (an atomic load and branch), so leaving the
 // instrumentation compiled into the hot loops costs nothing when no
 // sink is attached.
+//
+// The federation legs measure what the router's fleet plane pays:
+// merging N role reports into one aggregate (fleet_merge_4_reports,
+// fleet_windows_ingest) and a federated /tracez search fanned out over
+// 1, 2, and 4 loopback roles (trace_search_fanout_N, a full HTTP
+// round trip per role).
 package main
 
 import (
@@ -18,11 +24,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
+	"predperf/internal/cluster"
 	"predperf/internal/core"
 	"predperf/internal/obs"
 )
@@ -157,6 +167,74 @@ func main() {
 		store.Add(stored, obs.TraceMeta{ID: stored.ID(), Kind: "request", Route: "/v1/predict", Status: 200})
 	})
 
+	// Fleet federation: the scrape-merge path (the registry populated by
+	// the micro legs above stands in for one role's report) and the
+	// merged windows' ingest cost.
+	roleRep := obs.Snapshot()
+	fleetReps := []*obs.Report{roleRep, roleRep, roleRep, roleRep}
+	var mergedRep *obs.Report
+	rep.Ops["fleet_merge_4_reports"] = perOp(*repeats, *iters/100, func() {
+		mergedRep = obs.MergeReports(fleetReps...)
+	})
+	fw := obs.NewFleetWindows(nil)
+	rep.Ops["fleet_windows_ingest"] = perOp(*repeats, *iters/100, func() {
+		fw.Ingest(mergedRep)
+	})
+
+	// Federated trace search: a router fanning /tracez?q= over 1, 2, and
+	// 4 loopback roles, each answering a canned 8-trace summary list.
+	// Every op is a real HTTP round trip per role, so the iteration
+	// count is scaled down hard.
+	sums := make([]obs.TraceSummary, 8)
+	for i := range sums {
+		sums[i] = obs.TraceSummary{
+			ID: fmt.Sprintf("bench-%d", i), Kind: "request", Route: "/v1/predict",
+			Status: 200, Class: "sampled", DurMS: 1.5, Spans: 4,
+		}
+	}
+	roleBody, err := json.Marshal(struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}{sums})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var roles []*httptest.Server
+	for i := 0; i < 4; i++ {
+		roles = append(roles, httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(roleBody)
+		})))
+	}
+	searchIters := *iters / 2000
+	if searchIters < 100 {
+		searchIters = 100
+	}
+	for _, n := range []int{1, 2, 4} {
+		var urls []string
+		for _, s := range roles[:n] {
+			urls = append(urls, s.URL)
+		}
+		rt, err := cluster.NewRouter(cluster.RouterOptions{
+			Shards: urls, SyncInterval: -1, FleetScrapeInterval: -1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		rep.Ops[fmt.Sprintf("trace_search_fanout_%d", n)] = perOp(*repeats, searchIters, func() {
+			resp, err := http.Get(front.URL + "/tracez?format=json&q=predict")
+			if err != nil {
+				log.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		})
+		front.Close()
+	}
+	for _, s := range roles {
+		s.Close()
+	}
+
 	// End-to-end: the same build untraced vs. traced. The models are
 	// checked bit-identical (the determinism contract of the obs layer).
 	if _, err := core.NewSimEvaluator(*bench, *insts); err != nil {
@@ -226,6 +304,8 @@ func main() {
 		"windowed_counter_rate", "windowed_hist_stats", "window_tick_all",
 		"span_disabled", "span_enabled", "spanctx_disabled_no_trace", "spanctx_traced",
 		"request_sampled_off", "request_sampled_on", "trace_store_retention",
+		"fleet_merge_4_reports", "fleet_windows_ingest",
+		"trace_search_fanout_1", "trace_search_fanout_2", "trace_search_fanout_4",
 	} {
 		fmt.Printf("  %-28s %8.1f ns/op\n", k, rep.Ops[k])
 	}

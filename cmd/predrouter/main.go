@@ -13,6 +13,16 @@
 //	  '{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}'
 //	curl localhost:9300/v1/models            # merged listing across shards
 //	curl localhost:9300/statusz              # topology: shard health + model placement
+//	curl localhost:9300/fleetz               # fleet-wide merged metrics + SLO burn
+//	curl "localhost:9300/tracez?q=error"     # federated trace search across roles
+//
+// With -workers, the router also scrapes the evaluation farm's
+// simworkers into /fleetz and includes them in /tracez search fan-out.
+// /fleetz merges every role's /metricz report into one fleet aggregate
+// (exact bucket-wise histogram sums) on the -fleet-scrape-every cadence
+// and evaluates fleet SLO burn over the merged windows; when
+// -trace-sample-max is above -trace-sample, that burn adaptively raises
+// the edge trace-sampling rate until the incident resolves.
 //
 // The router polls every shard's /v1/models on -sync-every; the model
 // generation vector piggybacked on those responses detects hot swaps
@@ -52,21 +62,28 @@ func main() {
 
 	addr := flag.String("addr", "127.0.0.1:9300", "listen address (port 0 picks a free port)")
 	shards := flag.String("shards", "", "comma-separated predserve shard base URLs (required)")
+	workers := flag.String("workers", "", "comma-separated simworker base URLs scraped into /fleetz and searched by /tracez (the router routes no traffic to them)")
 	replicas := flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per shard on the consistent-hash ring")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-attempt deadline against one shard")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	syncEvery := flag.Duration("sync-every", 5*time.Second, "cadence of the /v1/models topology poll driving replica re-sync")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of edge requests that record a distributed trace into /tracez (0 disables; the decision rides the traceparent header to every shard and worker)")
+	traceSampleMax := flag.Float64("trace-sample-max", 0, "ceiling for SLO-burn-adaptive sampling: while a fleet SLO burns, the edge rate ramps from -trace-sample toward this value and decays back once the burn clears (0 keeps the rate static)")
 	traceStore := flag.Int("trace-store", 64, "traces retained per /tracez class (errors, kept, reservoir sample)")
+	fleetScrapeEvery := flag.Duration("fleet-scrape-every", 5*time.Second, "cadence of the /fleetz metrics federation across shards and workers (0 disables the background loop; /fleetz?refresh=1 still scrapes on demand)")
 	flag.Parse()
 
-	var urls []string
-	for _, s := range strings.Split(*shards, ",") {
-		if s = strings.TrimSpace(s); s != "" {
-			urls = append(urls, s)
+	splitURLs := func(s string) []string {
+		var out []string
+		for _, u := range strings.Split(s, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				out = append(out, u)
+			}
 		}
+		return out
 	}
+	urls := splitURLs(*shards)
 	if len(urls) == 0 {
 		log.Fatal("-shards is required (comma-separated predserve base URLs)")
 	}
@@ -77,14 +94,21 @@ func main() {
 	if ts <= 0 {
 		ts = -1
 	}
+	scrape := *fleetScrapeEvery
+	if scrape <= 0 {
+		scrape = -1 // the Options zero value means "default", not "off"
+	}
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
-		Shards:         urls,
-		Replicas:       *replicas,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		SyncInterval:   *syncEvery,
-		TraceSample:    ts,
-		TraceStoreSize: *traceStore,
+		Shards:              urls,
+		Workers:             splitURLs(*workers),
+		Replicas:            *replicas,
+		RequestTimeout:      *timeout,
+		MaxBodyBytes:        *maxBody,
+		SyncInterval:        *syncEvery,
+		TraceSample:         ts,
+		TraceSampleMax:      *traceSampleMax,
+		TraceStoreSize:      *traceStore,
+		FleetScrapeInterval: scrape,
 	})
 	if err != nil {
 		log.Fatal(err)

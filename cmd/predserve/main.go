@@ -140,6 +140,8 @@ func main() {
 	retrainWorkers := flag.Int("retrain-workers", 1, "worker goroutines for one background retrain build")
 	simWorkers := flag.String("sim-workers", "", "comma-separated simworker base URLs; when set, search verification, shadow re-simulation, and retrain builds fan out to the evaluation farm instead of simulating in-process")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of edge requests that record a distributed trace into /tracez (0 disables; downstream hops inherit the edge's decision)")
+	traceSampleMax := flag.Float64("trace-sample-max", 0, "ceiling for SLO-burn-adaptive sampling: while a declared SLO burns, the edge rate ramps from -trace-sample toward this value and decays back once the burn clears (0 keeps the rate static)")
+	traceAdaptEvery := flag.Duration("trace-adapt-every", 10*time.Second, "cadence of the adaptive trace-sampling control loop (only runs when -trace-sample-max enables it)")
 	traceStore := flag.Int("trace-store", 64, "traces retained per /tracez class (errors, kept outliers, reservoir sample)")
 	flag.Parse()
 
@@ -237,8 +239,10 @@ func main() {
 
 		SimPool: simPool,
 
-		TraceSample:    sampleRate(*traceSample),
-		TraceStoreSize: *traceStore,
+		TraceSample:        sampleRate(*traceSample),
+		TraceSampleMax:     *traceSampleMax,
+		TraceAdaptInterval: *traceAdaptEvery,
+		TraceStoreSize:     *traceStore,
 	})
 	if *retrain && *shadowFrac <= 0 {
 		log.Print("warning: -retrain has no trigger without shadow monitoring; set -shadow-frac > 0")

@@ -125,10 +125,12 @@ func (s *statusRecorder) Write(b []byte) (int, error) {
 // authoritative (a remote-parented hop records spans only when the
 // caller is sampling, and skips the local root span so its forest
 // grafts cleanly under the caller's hop span), while edge requests —
-// no traceparent — go through the role's own sampler and get a
-// "<role>.request" root span. Finished traces are offered to the
-// role's /tracez store with tail-based retention.
-func withTracing(role string, sampler obs.Sampler, store *obs.TraceStore, next http.Handler) http.Handler {
+// no traceparent — go through the role's own sampler (static or
+// SLO-burn-adaptive; either way the decision is deterministic at the
+// rate in effect) and get a "<role>.request" root span. Finished
+// traces are offered to the role's /tracez store with tail-based
+// retention.
+func withTracing(role string, sampler obs.HeadSampler, store *obs.TraceStore, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		id := r.Header.Get(RequestIDHeader)

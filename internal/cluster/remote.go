@@ -337,6 +337,42 @@ type attemptResult struct {
 	hedge  bool
 }
 
+// hedgeLink shares the two racing attempts' span IDs so each attempt
+// span can carry a "link_span" annotation naming its sibling: a merged
+// trace then shows the duplicated work as two connected attempts
+// instead of orphan siblings. Slots are atomics because the attempts
+// run concurrently; a slot still zero when an attempt ends (the
+// primary finishing before the hedge launched) simply yields no link
+// on that side.
+type hedgeLink struct {
+	primary atomic.Int64
+	hedge   atomic.Int64
+}
+
+// sibling returns the other attempt's span ID, or 0 if it has not
+// started (or tracing is off).
+func (l *hedgeLink) sibling(hedge bool) int64 {
+	if l == nil {
+		return 0
+	}
+	if hedge {
+		return l.primary.Load()
+	}
+	return l.hedge.Load()
+}
+
+// store records this attempt's span ID in its slot.
+func (l *hedgeLink) store(hedge bool, id int64) {
+	if l == nil || id == 0 {
+		return
+	}
+	if hedge {
+		l.hedge.Store(id)
+	} else {
+		l.primary.Store(id)
+	}
+}
+
 // attempt runs one request against one worker: acquire an in-flight
 // slot, POST the body with the per-attempt deadline, parse the answer.
 // Each attempt is a "cluster.pool_attempt" span annotated with its
@@ -345,12 +381,17 @@ type attemptResult struct {
 // a mystery double eval. The request identity and sampling bit ride the
 // traceparent header; a sampled worker's span forest comes back in the
 // response body and is grafted under the attempt span.
-func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bool, out chan<- attemptResult) {
+func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bool, link *hedgeLink, out chan<- attemptResult) {
 	tr := obs.TraceFrom(ctx)
 	spanCtx, endSpan := obs.StartSpanArgs(ctx, "cluster.pool_attempt",
 		"worker", w.url, "hedge", strconv.FormatBool(hedge))
-	send := func(res *EvalResponse, err error, outcome string) {
-		endSpan("outcome", outcome)
+	link.store(hedge, obs.SpanIDFrom(spanCtx))
+	send := func(res *EvalResponse, err error, outcome string, extra ...string) {
+		args := append([]string{"outcome", outcome}, extra...)
+		if sib := link.sibling(hedge); sib != 0 {
+			args = append(args, "link_span", strconv.FormatInt(sib, 10))
+		}
+		endSpan(args...)
 		out <- attemptResult{res: res, err: err, worker: w, hedge: hedge}
 	}
 	select {
@@ -413,7 +454,14 @@ func (p *Pool) attempt(ctx context.Context, w *workerConn, body []byte, hedge bo
 	rtt := time.Since(t0)
 	p.succeed(w, rtt)
 	if tr != nil && len(er.Spans) > 0 {
-		tr.Graft(obs.SpanIDFrom(spanCtx), er.Spans, obs.ClockOffset(t0, rtt, er.Spans))
+		// The clock_offset_ms arg doubles as the graft marker federated
+		// trace search keys on: a span naming a worker plus this arg
+		// means that worker's forest already rides in this trace.
+		off := obs.ClockOffset(t0, rtt, er.Spans)
+		tr.Graft(obs.SpanIDFrom(spanCtx), er.Spans, off)
+		send(&er, nil, "ok",
+			"clock_offset_ms", strconv.FormatFloat(float64(off)/float64(time.Millisecond), 'f', 3, 64))
+		return
 	}
 	send(&er, nil, "ok")
 }
@@ -433,7 +481,8 @@ func truncate(b []byte, n int) string {
 func (p *Pool) tryOnce(ctx context.Context, body []byte) (*EvalResponse, error) {
 	primary := p.pick(nil)
 	results := make(chan attemptResult, 2)
-	go p.attempt(ctx, primary, body, false, results)
+	link := &hedgeLink{}
+	go p.attempt(ctx, primary, body, false, link, results)
 	launched := 1
 
 	var hedgeC <-chan time.Time
@@ -473,7 +522,7 @@ func (p *Pool) tryOnce(ctx context.Context, body []byte) (*EvalResponse, error) 
 			hedgeC = nil
 			if second := p.pick(primary); second != nil && second != primary {
 				cPoolHedges.Inc()
-				go p.attempt(ctx, second, body, true, results)
+				go p.attempt(ctx, second, body, true, link, results)
 				launched++
 			}
 		case <-ctx.Done():

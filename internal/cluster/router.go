@@ -53,12 +53,29 @@ type RouterOptions struct {
 	SyncInterval time.Duration
 	// Client overrides the HTTP client.
 	Client *http.Client
+	// Workers are sim-worker base URLs joined to the fleet
+	// observability plane (metrics federation on /fleetz and trace
+	// search fan-out on /tracez); the router does not route client
+	// traffic to them.
+	Workers []string
 	// TraceSample is the edge head-sampling rate: the fraction of
 	// client requests that record a distributed trace (0 means sample
 	// everything, matching the old always-trace behaviour; negative
 	// disables tracing). The decision is made once here and propagated
 	// to shards and workers on the traceparent header.
 	TraceSample float64
+	// TraceSampleMax, when above TraceSample, enables SLO-burn-adaptive
+	// head sampling: the edge rate ramps toward this ceiling while any
+	// fleet SLO fires and decays back once the burn clears. 0 keeps the
+	// rate static.
+	TraceSampleMax float64
+	// FleetScrapeInterval is the fleet metrics-federation cadence
+	// (default 5s; <0 disables the background loop — tests call
+	// FleetScrapeOnce directly).
+	FleetScrapeInterval time.Duration
+	// FleetScrapeTimeout bounds one role's /metricz scrape or /tracez
+	// fan-out query (default 2s).
+	FleetScrapeTimeout time.Duration
 	// TraceStoreSize caps each retention class of the /tracez store
 	// (default 64).
 	TraceStoreSize int
@@ -82,6 +99,12 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	}
 	if o.TraceSample == 0 {
 		o.TraceSample = 1
+	}
+	if o.FleetScrapeInterval == 0 {
+		o.FleetScrapeInterval = 5 * time.Second
+	}
+	if o.FleetScrapeTimeout <= 0 {
+		o.FleetScrapeTimeout = 2 * time.Second
 	}
 	if o.TraceStoreSize <= 0 {
 		o.TraceStoreSize = 64
@@ -128,8 +151,9 @@ type Router struct {
 	ring    *Ring
 	start   time.Time
 	http    *http.Server
-	sampler obs.Sampler
+	sampler *obs.AdaptiveSampler
 	traces  *obs.TraceStore
+	fleet   *fleetPlane
 
 	mu     sync.Mutex
 	models map[string]*routerModel // name → placement + generations
@@ -140,16 +164,22 @@ type Router struct {
 	loopDone   chan struct{}
 }
 
+// normalizeBaseURL canonicalizes a shard/worker base URL: trimmed, no
+// trailing slash, http:// assumed when no scheme is given.
+func normalizeBaseURL(s string) string {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s != "" && !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
 // NewRouter builds a router over RouterOptions.Shards.
 func NewRouter(opt RouterOptions) (*Router, error) {
 	opt = opt.withDefaults()
 	urls := make([]string, 0, len(opt.Shards))
 	for _, s := range opt.Shards {
-		s = strings.TrimRight(strings.TrimSpace(s), "/")
-		if s != "" && !strings.Contains(s, "://") {
-			s = "http://" + s
-		}
-		urls = append(urls, s)
+		urls = append(urls, normalizeBaseURL(s))
 	}
 	ring, err := NewRing(urls, opt.Replicas)
 	if err != nil {
@@ -159,18 +189,37 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		opt:     opt,
 		ring:    ring,
 		start:   time.Now(),
-		sampler: obs.NewSampler(opt.TraceSample),
+		sampler: obs.NewAdaptiveSampler(opt.TraceSample, opt.TraceSampleMax, 0),
 		traces:  obs.NewTraceStore(opt.TraceStoreSize),
 		models:  map[string]*routerModel{},
 		shards:  map[string]*shardState{},
 		synced:  map[string]uint64{},
 	}
+	obs.NewGaugeFunc("obs.trace_sample_rate", rt.sampler.Rate)
+	var workers []string
+	for _, s := range opt.Workers {
+		if u := normalizeBaseURL(s); u != "" {
+			workers = append(workers, u)
+		}
+	}
+	rt.fleet = newFleetPlane(ring.Shards(), workers, opt.Client, opt.FleetScrapeTimeout, rt.sampler, nil)
 	for _, u := range ring.Shards() {
 		rt.shards[u] = &shardState{URL: u}
 	}
 	rt.http = &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return rt, nil
 }
+
+// FleetScrapeOnce runs one metrics-federation cycle (scrape every
+// role, merge, evaluate fleet SLOs, tick the adaptive sampler) and
+// returns the merged fleet report. The background loop calls this on
+// RouterOptions.FleetScrapeInterval; tests call it directly.
+func (rt *Router) FleetScrapeOnce(ctx context.Context) *obs.Report {
+	return rt.fleet.scrapeOnce(ctx)
+}
+
+// SampleRate reports the edge head-sampling rate currently in effect.
+func (rt *Router) SampleRate() float64 { return rt.sampler.Rate() }
 
 // Ring exposes the router's placement ring (read-only use).
 func (rt *Router) Ring() *Ring { return rt.ring }
@@ -187,7 +236,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/models/load", rt.handleLoad)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metricz", handleMetricz)
-	mux.Handle("/tracez", rt.traces.Handler())
+	mux.HandleFunc("/tracez", rt.handleTracez)
+	mux.HandleFunc("/fleetz", rt.handleFleetz)
 	mux.HandleFunc("/statusz", rt.handleStatusz)
 	return withTracing("router", rt.sampler, rt.traces, mux)
 }
@@ -454,17 +504,18 @@ func (rt *Router) SyncOnce(ctx context.Context) int {
 	return done
 }
 
-// syncLoop runs SyncOnce on the configured cadence until ctx ends.
-func (rt *Router) syncLoop(ctx context.Context) {
+// loops runs the topology-sync and fleet-scrape tickers until ctx
+// ends. A nil channel never fires, so a disabled loop costs nothing.
+func (rt *Router) loops(ctx context.Context, syncC, fleetC <-chan time.Time) {
 	defer close(rt.loopDone)
-	t := time.NewTicker(rt.opt.SyncInterval)
-	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-syncC:
 			rt.SyncOnce(ctx)
+		case <-fleetC:
+			rt.fleet.scrapeOnce(ctx)
 		}
 	}
 }
@@ -624,6 +675,8 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			{"models placed", strconv.Itoa(len(rt.snapshotModels()))},
 			{"failovers", strconv.FormatInt(cRouterFailovers.Value(), 10)},
 			{"replica re-syncs", strconv.FormatInt(cRouterResyncs.Value(), 10)},
+			{"trace sample rate", strconv.FormatFloat(rt.sampler.Rate(), 'g', 4, 64)},
+			{"fleet targets", strconv.Itoa(len(rt.fleet.roleURLs("")))},
 		},
 		Sections: []statuszSection{
 			{
@@ -642,19 +695,34 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Serve accepts connections on l until Shutdown, running the background
-// sync loop when SyncInterval is positive.
+// Serve accepts connections on l until Shutdown, running the
+// background sync and fleet-scrape loops when their intervals are
+// positive.
 func (rt *Router) Serve(l net.Listener) error {
-	if rt.opt.SyncInterval > 0 {
+	needSync := rt.opt.SyncInterval > 0
+	needFleet := rt.opt.FleetScrapeInterval > 0
+	if needSync || needFleet {
 		ctx, cancel := context.WithCancel(context.Background())
 		rt.mu.Lock()
 		rt.loopCancel = cancel
 		rt.loopDone = make(chan struct{})
 		rt.mu.Unlock()
-		// Prime the topology before serving traffic so the first
-		// /statusz is not empty.
-		rt.SyncOnce(ctx)
-		go rt.syncLoop(ctx)
+		var syncC, fleetC <-chan time.Time
+		if needSync {
+			// Prime the topology before serving traffic so the first
+			// /statusz is not empty.
+			rt.SyncOnce(ctx)
+			t := time.NewTicker(rt.opt.SyncInterval)
+			defer t.Stop()
+			syncC = t.C
+		}
+		if needFleet {
+			rt.fleet.scrapeOnce(ctx)
+			t := time.NewTicker(rt.opt.FleetScrapeInterval)
+			defer t.Stop()
+			fleetC = t.C
+		}
+		go rt.loops(ctx, syncC, fleetC)
 	}
 	err := rt.http.Serve(l)
 	if err == http.ErrServerClosed {

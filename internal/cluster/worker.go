@@ -108,6 +108,7 @@ func NewWorker(opt WorkerOptions) *Worker {
 	w.id = w.opt.ID
 	w.evs = map[string]*core.SimEvaluator{}
 	w.sampler = obs.NewSampler(w.opt.TraceSample)
+	obs.NewGaugeFunc("obs.trace_sample_rate", w.sampler.Rate)
 	w.traces = obs.NewTraceStore(w.opt.TraceStoreSize)
 	w.http = &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return w
@@ -323,6 +324,7 @@ func (w *Worker) handleStatusz(rw http.ResponseWriter, r *http.Request) {
 			{"configs scored", strconv.FormatInt(cWorkerConfigs.Value(), 10)},
 			{"simulations run", strconv.FormatInt(cWorkerSims.Value(), 10)},
 			{"in flight", strconv.FormatInt(gWorkerInflt.Value(), 10)},
+			{"trace sample rate", strconv.FormatFloat(w.sampler.Rate(), 'g', 4, 64)},
 		},
 		Sections: []statuszSection{{
 			Title:   "Loaded evaluators",

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAdaptiveRampAndDecay(t *testing.T) {
+	a := NewAdaptiveSampler(0.01, 0.64, 2)
+	if got := a.Rate(); got != 0.01 {
+		t.Fatalf("initial rate %v", got)
+	}
+	// Burn fires: ×2 per tick, capped at max.
+	want := []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.64}
+	for i, w := range want {
+		if got := a.Tick(true); got != w {
+			t.Fatalf("burning tick %d: got %v want %v", i, got, w)
+		}
+	}
+	// Burn clears: the rate holds for hysteresis ticks, then halves.
+	if got := a.Tick(false); got != 0.64 {
+		t.Fatalf("decay before hysteresis: %v", got)
+	}
+	decay := []float64{0.32, 0.16, 0.08, 0.04, 0.02, 0.01, 0.01}
+	for i, w := range decay {
+		if got := a.Tick(false); got != w {
+			t.Fatalf("clear tick %d: got %v want %v", i, got, w)
+		}
+	}
+	if a.Rate() != 0.01 {
+		t.Fatalf("did not settle at base: %v", a.Rate())
+	}
+}
+
+func TestAdaptiveHysteresisResetsOnReburn(t *testing.T) {
+	a := NewAdaptiveSampler(0.1, 0.8, 3)
+	a.Tick(true) // 0.2
+	a.Tick(false)
+	a.Tick(false)
+	a.Tick(true) // re-burn resets the clear countdown (0.4)
+	if got := a.Rate(); got != 0.4 {
+		t.Fatalf("re-burn rate: %v", got)
+	}
+	// Two clear ticks are not enough again.
+	a.Tick(false)
+	if got := a.Tick(false); got != 0.4 {
+		t.Fatalf("decayed before a full hysteresis period: %v", got)
+	}
+	if got := a.Tick(false); got != 0.2 {
+		t.Fatalf("third clear tick should decay: %v", got)
+	}
+}
+
+func TestAdaptiveFromZeroBase(t *testing.T) {
+	a := NewAdaptiveSampler(0, 1, 1)
+	if a.Sample("any-request") {
+		t.Fatal("zero base must sample nothing")
+	}
+	if got := a.Tick(true); got != minRampRate {
+		t.Fatalf("ramp from zero: got %v want %v", got, minRampRate)
+	}
+	for i := 0; i < 10; i++ {
+		a.Tick(true)
+	}
+	if a.Rate() != 1 {
+		t.Fatalf("did not reach max: %v", a.Rate())
+	}
+	for i := 0; i < 64; i++ {
+		a.Tick(false)
+	}
+	if a.Rate() != 0 {
+		t.Fatalf("did not decay back to zero base: %v", a.Rate())
+	}
+}
+
+func TestAdaptiveNeverRampsWhenMaxAtBase(t *testing.T) {
+	a := NewAdaptiveSampler(0.25, 0, 1) // max < base: clamp to base, static
+	for i := 0; i < 5; i++ {
+		a.Tick(true)
+	}
+	if a.Rate() != 0.25 {
+		t.Fatalf("static sampler ramped: %v", a.Rate())
+	}
+}
+
+// TestAdaptiveDeterministicAndMonotone: at any fixed rate the decision
+// matches the static sampler for every ID (determinism across
+// replicas), and raising the rate only ever adds sampled requests.
+func TestAdaptiveDeterministicAndMonotone(t *testing.T) {
+	ids := make([]string, 512)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("req-%04d", i)
+	}
+	rates := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1}
+	prev := map[string]bool{}
+	for _, rate := range rates {
+		a := NewAdaptiveSampler(rate, rate, 1)
+		s := NewSampler(rate)
+		cur := map[string]bool{}
+		for _, id := range ids {
+			got := a.Sample(id)
+			if got != s.Sample(id) {
+				t.Fatalf("rate %v id %s: adaptive %v != static %v", rate, id, got, s.Sample(id))
+			}
+			if got != a.Sample(id) {
+				t.Fatalf("rate %v id %s: nondeterministic decision", rate, id)
+			}
+			cur[id] = got
+		}
+		for id, was := range prev {
+			if was && !cur[id] {
+				t.Fatalf("raising rate to %v dropped previously sampled id %s", rate, id)
+			}
+		}
+		prev = cur
+	}
+	if !prev[ids[0]] {
+		t.Fatal("rate 1 must sample everything")
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 1} {
+		got := NewSampler(r).Rate()
+		if diff := got - r; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Rate(%v) = %v", r, got)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet federation: exact merging of per-role run reports into one
+// aggregate view, plus sliding windows re-derived from successive
+// merged snapshots.
+//
+// The merge contract is *exactness*, not approximation: counters and
+// stage counts are integer sums; histograms carry their raw log-spaced
+// bucket layouts (report format >= 3) and merge bucket-wise, with
+// quantiles re-derived from the merged counts by the same
+// interpolation Histogram.Quantile uses. A fleet of N processes
+// observing disjoint event sets therefore reports byte-for-byte the
+// same counter totals and quantiles as one process observing the
+// union. The merge is associative and order-independent because every
+// combining operation (integer add, float add of dyadic-friendly sums,
+// max) is.
+
+// MergeReports merges per-role reports into one fleet-wide aggregate.
+// Nil inputs are skipped. Counters, stage counts/totals, and gauge
+// values sum; stage maxima take the max; histograms merge bucket-wise
+// when their layouts agree (always, for same-build roles) and degrade
+// to summed counts with upper-estimate quantiles when an old-format
+// report lacks raw buckets. Windows and SLOs are intentionally left
+// empty: windowed views cannot be merged exactly from pre-derived
+// stats (a p50 of p50s is not a p50), so federating readers re-derive
+// them from merged cumulative snapshots via FleetWindows.
+func MergeReports(reports ...*Report) *Report {
+	out := &Report{
+		Format:   reportFormat,
+		Stages:   map[string]StageStats{},
+		Counters: map[string]int64{},
+	}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out.Host.GoVersion == "" {
+			out.Host.GoVersion = r.Host.GoVersion
+			out.Host.OS = r.Host.OS
+			out.Host.Arch = r.Host.Arch
+		}
+		// Fleet capacity, not per-host shape.
+		out.Host.CPUs += r.Host.CPUs
+		out.Host.GOMAXPROCS += r.Host.GOMAXPROCS
+		if out.Started.IsZero() || (!r.Started.IsZero() && r.Started.Before(out.Started)) {
+			out.Started = r.Started
+		}
+		out.WallSec = math.Max(out.WallSec, r.WallSec)
+		for name, st := range r.Stages {
+			prev := out.Stages[name]
+			out.Stages[name] = StageStats{
+				Count:    prev.Count + st.Count,
+				TotalSec: prev.TotalSec + st.TotalSec,
+				MaxSec:   math.Max(prev.MaxSec, st.MaxSec),
+			}
+		}
+		for name, v := range r.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range r.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = map[string]float64{}
+			}
+			out.Gauges[name] += v
+		}
+		for name, st := range r.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistStats{}
+			}
+			out.Histograms[name] = mergeHistStats(out.Histograms[name], st)
+		}
+	}
+	return out
+}
+
+// mergeHistStats combines two histogram summaries. When both carry raw
+// buckets over the same bounds, the merge is exact: bucket-wise sums
+// with quantiles re-derived from the merged counts. A side that never
+// observed anything and carries no layout is the identity. Mismatched
+// layouts (mixed builds or pre-format-3 reports) still sum counts and
+// sums exactly but fall back to the max of each pre-computed quantile —
+// an upper estimate, flagged by the absence of Bounds in the result.
+func mergeHistStats(a, b HistStats) HistStats {
+	if a.Count == 0 && len(a.Buckets) == 0 {
+		return cloneHistStats(b)
+	}
+	if b.Count == 0 && len(b.Buckets) == 0 {
+		return cloneHistStats(a)
+	}
+	m := HistStats{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	if len(a.Buckets) > 0 && len(a.Buckets) == len(b.Buckets) && equalBounds(a.Bounds, b.Bounds) {
+		m.Bounds = append([]float64(nil), a.Bounds...)
+		m.Buckets = make([]int64, len(a.Buckets))
+		for i := range m.Buckets {
+			m.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+		}
+		if m.Count > 0 {
+			m.P50 = quantile(0.50, m.Bounds, m.Buckets)
+			m.P90 = quantile(0.90, m.Bounds, m.Buckets)
+			m.P99 = quantile(0.99, m.Bounds, m.Buckets)
+			m.Max = quantile(1, m.Bounds, m.Buckets)
+		}
+		return m
+	}
+	m.P50 = math.Max(a.P50, b.P50)
+	m.P90 = math.Max(a.P90, b.P90)
+	m.P99 = math.Max(a.P99, b.P99)
+	m.Max = math.Max(a.Max, b.Max)
+	return m
+}
+
+func cloneHistStats(s HistStats) HistStats {
+	c := s
+	c.Bounds = append([]float64(nil), s.Bounds...)
+	c.Buckets = append([]int64(nil), s.Buckets...)
+	return c
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goodUnder counts the events in counts that landed in buckets whose
+// upper bound is <= threshold — the bucket-quantized latency-SLI
+// primitive shared by WindowedHistogram.GoodOver and FleetWindows.
+func goodUnder(bounds []float64, counts []int64, n int64, threshold float64) (good int64) {
+	hi := sort.SearchFloat64s(bounds, threshold)
+	if hi < len(bounds) && bounds[hi] == threshold {
+		hi++
+	}
+	for i := 0; i < hi && i < len(counts); i++ {
+		good += counts[i]
+	}
+	if hi > len(bounds) { // threshold above every finite bound: overflow too
+		good = n
+	}
+	return good
+}
+
+// FleetWindows re-derives sliding-window views from successive merged
+// cumulative snapshots — the federating reader's counterpart of
+// WindowedCounter / WindowedHistogram. A scraper feeds it one merged
+// Report per scrape tick; each metric keeps the same
+// ring-of-cumulative-snapshots the per-process windows use, so
+// windowed deltas, rates, quantiles, and SLI good/total counts over
+// the merged fleet follow exactly the per-process semantics
+// (bucket-width granularity, negative deltas from role restarts
+// clamped to zero).
+type FleetWindows struct {
+	mu       sync.Mutex
+	clock    Clock
+	counters map[string]*fleetSeries
+	hists    map[string]*fleetSeries
+}
+
+// fleetSeries is one merged metric's ring plus its latest merged
+// cumulative snapshot (the "live" value between scrape ticks).
+type fleetSeries struct {
+	bounds []float64 // histograms only
+	r      *ring
+	last   winSnap
+}
+
+// NewFleetWindows builds an empty fleet-window set on the given clock
+// (nil: time.Now).
+func NewFleetWindows(clock Clock) *FleetWindows {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &FleetWindows{
+		clock:    clock,
+		counters: map[string]*fleetSeries{},
+		hists:    map[string]*fleetSeries{},
+	}
+}
+
+// Ingest feeds one merged report: every counter and every histogram
+// that carries raw buckets advances its ring to the current bucket
+// boundary and records the merged cumulative state. Metrics absent
+// from the report (a role down mid-scrape) simply keep their last
+// value — the windowed delta then under-counts for one tick rather
+// than inventing negative traffic.
+func (f *FleetWindows) Ingest(rep *Report) {
+	if rep == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock()
+	for name, v := range rep.Counters {
+		s, ok := f.counters[name]
+		if !ok {
+			s = &fleetSeries{r: newRing(DefWindowBucket, maxWindow)}
+			f.counters[name] = s
+		}
+		s.last = winSnap{count: v}
+		s.r.rotate(now, s.last)
+	}
+	for name, st := range rep.Histograms {
+		if len(st.Buckets) == 0 {
+			continue // pre-format-3 source: not windowable exactly
+		}
+		s, ok := f.hists[name]
+		if !ok {
+			s = &fleetSeries{bounds: append([]float64(nil), st.Bounds...), r: newRing(DefWindowBucket, maxWindow)}
+			f.hists[name] = s
+		}
+		if !equalBounds(s.bounds, st.Bounds) {
+			continue // layout changed under us (mixed builds): skip
+		}
+		s.last = winSnap{count: st.Count, sum: st.Sum, buckets: append([]int64(nil), st.Buckets...)}
+		s.r.rotate(now, s.last)
+	}
+}
+
+// syncLocked rotates one series to the current boundary using its last
+// ingested snapshot as the live value. Callers hold f.mu.
+func (f *FleetWindows) syncLocked(s *fleetSeries) {
+	s.r.rotate(f.clock(), s.last)
+}
+
+// CounterOver returns how many merged events the named counter
+// recorded in the last d (clamped at zero across role restarts).
+func (f *FleetWindows) CounterOver(name string, d time.Duration) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.counters[name]
+	if !ok {
+		return 0
+	}
+	f.syncLocked(s)
+	n := s.last.count - s.r.at(s.r.bucketsFor(d)).count
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// CounterRate returns the merged event rate per second over the last d.
+func (f *FleetWindows) CounterRate(name string, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.CounterOver(name, d)) / d.Seconds()
+}
+
+// CounterSeries returns per-bucket merged event counts over the last
+// d, oldest first, live partial bucket last — the sparkline shape.
+func (f *FleetWindows) CounterSeries(name string, d time.Duration) []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.counters[name]
+	if !ok {
+		return nil
+	}
+	f.syncLocked(s)
+	k := s.r.bucketsFor(d)
+	out := make([]float64, 0, k+1)
+	for i := k; i >= 1; i-- {
+		out = append(out, clampF(float64(s.r.at(i-1).count-s.r.at(i).count)))
+	}
+	out = append(out, clampF(float64(s.last.count-s.r.at(0).count)))
+	return out
+}
+
+func clampF(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// histDeltasLocked mirrors WindowedHistogram.deltas over a merged
+// series. Callers hold f.mu.
+func (f *FleetWindows) histDeltasLocked(s *fleetSeries, d time.Duration) (counts []int64, n int64, sum float64) {
+	f.syncLocked(s)
+	ref := s.r.at(s.r.bucketsFor(d))
+	counts = make([]int64, len(s.last.buckets))
+	for i := range counts {
+		c := s.last.buckets[i]
+		if ref.buckets != nil && i < len(ref.buckets) {
+			c -= ref.buckets[i]
+		}
+		if c < 0 {
+			c = 0
+		}
+		counts[i] = c
+	}
+	n = s.last.count - ref.count
+	if n < 0 {
+		n = 0
+	}
+	return counts, n, s.last.sum - ref.sum
+}
+
+// HistStatsOver summarizes the named merged histogram over the last d,
+// with the same semantics as WindowedHistogram.StatsOver.
+func (f *FleetWindows) HistStatsOver(name string, d time.Duration) WindowStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.hists[name]
+	if !ok {
+		return WindowStats{}
+	}
+	counts, n, sum := f.histDeltasLocked(s, d)
+	st := WindowStats{Count: n}
+	if d > 0 {
+		st.Rate = float64(n) / d.Seconds()
+	}
+	if n <= 0 {
+		return st
+	}
+	st.Mean = sum / float64(n)
+	st.P50 = quantile(0.50, s.bounds, counts)
+	st.P90 = quantile(0.90, s.bounds, counts)
+	st.P99 = quantile(0.99, s.bounds, counts)
+	return st
+}
+
+// HistSeries returns per-bucket merged observation counts over the
+// last d, oldest first, live partial bucket last.
+func (f *FleetWindows) HistSeries(name string, d time.Duration) []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.hists[name]
+	if !ok {
+		return nil
+	}
+	f.syncLocked(s)
+	k := s.r.bucketsFor(d)
+	out := make([]float64, 0, k+1)
+	for i := k; i >= 1; i-- {
+		out = append(out, clampF(float64(s.r.at(i-1).count-s.r.at(i).count)))
+	}
+	out = append(out, clampF(float64(s.last.count-s.r.at(0).count)))
+	return out
+}
+
+// GoodOver counts merged observations in the last d that landed in
+// buckets whose upper bound is <= threshold, plus the window total —
+// the fleet latency-SLI primitive, bucket-quantized exactly like
+// WindowedHistogram.GoodOver.
+func (f *FleetWindows) GoodOver(name string, d time.Duration, threshold float64) (good, total int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.hists[name]
+	if !ok {
+		return 0, 0
+	}
+	counts, n, _ := f.histDeltasLocked(s, d)
+	return goodUnder(s.bounds, counts, n, threshold), n
+}
+
+// LatencySLI builds an SLI over a merged latency histogram: good means
+// the request completed within threshold seconds, fleet-wide.
+func (f *FleetWindows) LatencySLI(name string, thresholdSec float64) SLIFunc {
+	return func(d time.Duration) (good, total int64) {
+		return f.GoodOver(name, d, thresholdSec)
+	}
+}
+
+// CounterRatioSLI builds an availability SLI from a merged error
+// counter and a merged total counter: good = total - errors.
+func (f *FleetWindows) CounterRatioSLI(errName, totalName string) SLIFunc {
+	return func(d time.Duration) (good, total int64) {
+		t := f.CounterOver(totalName, d)
+		e := f.CounterOver(errName, d)
+		if e > t {
+			e = t
+		}
+		return t - e, t
+	}
+}

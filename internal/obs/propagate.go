@@ -5,7 +5,6 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -125,27 +124,23 @@ type Sampler struct {
 // NewSampler builds a sampler keeping the given fraction of requests
 // (rate >= 1 keeps everything, rate <= 0 keeps nothing).
 func NewSampler(rate float64) Sampler {
-	switch {
-	case rate >= 1:
-		return Sampler{threshold: math.MaxUint64}
-	case rate <= 0:
-		return Sampler{threshold: 0}
-	default:
-		return Sampler{threshold: uint64(rate * float64(math.MaxUint64))}
-	}
+	return Sampler{threshold: sampleThreshold(rate)}
 }
 
 // Sample decides whether the request with this ID is traced.
 func (s Sampler) Sample(id string) bool {
+	return sampleHit(id, s.threshold)
+}
+
+// Rate reports the fraction of requests this sampler keeps.
+func (s Sampler) Rate() float64 {
 	switch s.threshold {
 	case math.MaxUint64:
-		return true
+		return 1
 	case 0:
-		return false
+		return 0
 	}
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return h.Sum64() < s.threshold
+	return float64(s.threshold) / float64(math.MaxUint64)
 }
 
 // WithRequestID stamps the request's identity on the context. Unlike a

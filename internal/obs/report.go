@@ -30,13 +30,22 @@ type StageStats struct {
 
 // HistStats summarizes one histogram: observation count, value sum, and
 // interpolated latency quantiles (NaN-free: zero when empty).
+//
+// Bounds and Buckets (format >= 3) carry the raw log-spaced bucket
+// layout and per-bucket counts (len(Bounds)+1 entries, the last being
+// the overflow bucket). They exist so a federating reader can merge
+// histograms from many processes *exactly* — bucket-wise integer sums,
+// quantiles re-derived from the merged counts — instead of
+// approximating from pre-computed percentiles.
 type HistStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
-	Max   float64 `json:"max"` // highest bucket bound reached (upper estimate)
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50"`
+	P90     float64   `json:"p90"`
+	P99     float64   `json:"p99"`
+	Max     float64   `json:"max"` // highest bucket bound reached (upper estimate)
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
 }
 
 // Report is the machine-readable run report the CLIs write for
@@ -66,8 +75,10 @@ type Report struct {
 }
 
 // reportFormat versions the report schema. Format 2 added Windows and
-// SLOs; format-1 reports (which simply lack both) still decode.
-const reportFormat = 2
+// SLOs; format 3 added raw histogram bucket layouts (HistStats.Bounds /
+// Buckets) so reports are exactly mergeable. Older formats (which
+// simply lack those fields) still decode.
+const reportFormat = 3
 
 // Snapshot captures the current observability state as a report. The
 // caller may fill Meta before writing it out. Callback gauges are
@@ -117,9 +128,12 @@ func Snapshot() *Report {
 }
 
 // histStats summarizes one histogram, mapping the NaN of an empty
-// histogram's quantiles to zero so the JSON stays plain numbers.
+// histogram's quantiles to zero so the JSON stays plain numbers. The
+// raw bucket layout rides along so the summary stays exactly mergeable.
 func histStats(h *Histogram) HistStats {
 	st := HistStats{Count: h.Count(), Sum: h.Sum()}
+	st.Bounds = h.Bounds()
+	st.Buckets = h.bucketCounts()
 	if st.Count == 0 {
 		return st
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -116,39 +117,119 @@ type TraceSummary struct {
 	Spans  int     `json:"spans"`
 }
 
-// Snapshot lists retained traces (errors, then kept, then sampled;
-// newest first within each class), optionally filtered by route.
-func (s *TraceStore) Snapshot(route string) []TraceSummary {
+// collect snapshots the stored traces passing accept (errors, then
+// kept, then sampled; newest first within each class), tagged with
+// their class name.
+func (s *TraceStore) collect(accept func(TraceMeta) bool) []classedTrace {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]TraceSummary, 0, len(s.errors)+len(s.kept)+len(s.sampled))
+	out := make([]classedTrace, 0, len(s.errors)+len(s.kept)+len(s.sampled))
 	for _, c := range []struct {
 		name string
 		list []storedTrace
 	}{{"error", s.errors}, {"kept", s.kept}, {"sampled", s.sampled}} {
 		for i := len(c.list) - 1; i >= 0; i-- {
-			st := c.list[i]
-			if route != "" && st.meta.Route != route {
-				continue
+			if accept == nil || accept(c.list[i].meta) {
+				out = append(out, classedTrace{c.list[i], c.name})
 			}
-			out = append(out, TraceSummary{
-				ID:     st.meta.ID,
-				Kind:   st.meta.Kind,
-				Route:  st.meta.Route,
-				Status: st.meta.Status,
-				Class:  c.name,
-				Start:  st.meta.Start.UTC().Format(time.RFC3339Nano),
-				DurMS:  float64(st.meta.Dur) / float64(time.Millisecond),
-				Spans:  st.tr.Len(),
-			})
 		}
 	}
 	return out
 }
 
+type classedTrace struct {
+	storedTrace
+	class string
+}
+
+func (c classedTrace) summary() TraceSummary {
+	return TraceSummary{
+		ID:     c.meta.ID,
+		Kind:   c.meta.Kind,
+		Route:  c.meta.Route,
+		Status: c.meta.Status,
+		Class:  c.class,
+		Start:  c.meta.Start.UTC().Format(time.RFC3339Nano),
+		DurMS:  float64(c.meta.Dur) / float64(time.Millisecond),
+		Spans:  c.tr.Len(),
+	}
+}
+
+// Snapshot lists retained traces (errors, then kept, then sampled;
+// newest first within each class), optionally filtered by route.
+func (s *TraceStore) Snapshot(route string) []TraceSummary {
+	return summaries(s.collect(func(m TraceMeta) bool {
+		return route == "" || m.Route == route
+	}))
+}
+
+// Search lists retained traces matching the /tracez?q= query language:
+// an exact trace ID, the keyword "error" (error-class traces), a
+// "min_ms:<n>" duration floor, or a route substring. An empty query
+// matches everything.
+func (s *TraceStore) Search(q string) []TraceSummary {
+	return summaries(s.collect(func(m TraceMeta) bool { return matchTrace(m, q) }))
+}
+
+func summaries(list []classedTrace) []TraceSummary {
+	out := make([]TraceSummary, len(list))
+	for i, c := range list {
+		out[i] = c.summary()
+	}
+	return out
+}
+
+// matchTrace implements the shared trace query language (see Search).
+func matchTrace(m TraceMeta, q string) bool {
+	q = strings.TrimSpace(q)
+	switch {
+	case q == "":
+		return true
+	case q == m.ID:
+		return true
+	case q == "error":
+		return m.Err || m.Status >= 500
+	case strings.HasPrefix(q, "min_ms:"):
+		v, err := strconv.ParseFloat(strings.TrimPrefix(q, "min_ms:"), 64)
+		return err == nil && float64(m.Dur)/float64(time.Millisecond) >= v
+	default:
+		return m.Route != "" && strings.Contains(m.Route, q)
+	}
+}
+
+// WireTrace is one retained trace exported for cross-role federation:
+// its list-view summary plus its full span forest in wire form, span
+// IDs preserved so a federating reader can re-graft it.
+type WireTrace struct {
+	Summary TraceSummary `json:"summary"`
+	Spans   []WireSpan   `json:"spans"`
+}
+
+// WireExport is the /tracez?format=wire payload: the matching traces
+// plus the exporter's clock at export time, so the reader can estimate
+// one clock offset for the whole batch.
+type WireExport struct {
+	NowUnixNS int64       `json:"now_unix_ns"`
+	Traces    []WireTrace `json:"traces"`
+}
+
+// WireTraces exports every retained trace matching q (Search's query
+// language) in wire form.
+func (s *TraceStore) WireTraces(q string) WireExport {
+	list := s.collect(func(m TraceMeta) bool { return matchTrace(m, q) })
+	out := WireExport{NowUnixNS: time.Now().UnixNano(), Traces: make([]WireTrace, len(list))}
+	for i, c := range list {
+		out.Traces[i] = WireTrace{Summary: c.summary(), Spans: c.tr.Export(0)}
+	}
+	return out
+}
+
 // Handler serves the store: HTML list by default, ?format=json for the
-// machine view (&route= filters), ?id= for one trace (HTML span tree,
-// &format=json, or &format=chrome for a chrome://tracing download).
+// machine view (&route= exact-filters, &q= searches: trace ID |
+// "error" | min_ms:<n> | route substring), ?format=wire for the
+// federation export (full span forests), ?id= for one trace (HTML span
+// tree, &format=json, &format=chrome for a chrome://tracing download,
+// or &format=wire for its raw span forest).
 func (s *TraceStore) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -161,19 +242,30 @@ func (s *TraceStore) Handler() http.Handler {
 			s.serveTrace(w, id, q.Get("format"))
 			return
 		}
-		sums := s.Snapshot(q.Get("route"))
-		if q.Get("format") == "json" {
+		query := q.Get("q")
+		var sums []TraceSummary
+		if query != "" {
+			sums = s.Search(query)
+		} else {
+			sums = s.Snapshot(q.Get("route"))
+		}
+		switch q.Get("format") {
+		case "wire":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(s.WireTraces(query))
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(struct {
 				Traces []TraceSummary `json:"traces"`
 			}{sums})
-			return
+		default:
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			tracezTmpl.Execute(w, struct {
+				Traces []TraceSummary
+				Query  string
+				Now    string
+			}{sums, query, time.Now().UTC().Format(time.RFC3339)})
 		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		tracezTmpl.Execute(w, struct {
-			Traces []TraceSummary
-			Now    string
-		}{sums, time.Now().UTC().Format(time.RFC3339)})
 	})
 }
 
@@ -199,6 +291,15 @@ func (s *TraceStore) serveTrace(w http.ResponseWriter, id, format string) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
 		tr.WriteChromeTrace(w)
+	case "wire":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(WireExport{
+			NowUnixNS: time.Now().UnixNano(),
+			Traces: []WireTrace{{
+				Summary: classedTrace{storedTrace{meta: meta, tr: tr}, ""}.summary(),
+				Spans:   tr.Export(0),
+			}},
+		})
 	case "json":
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -316,6 +417,7 @@ a{color:#06c;text-decoration:none} a:hover{text-decoration:underline}
 </style></head><body>
 <h1>tracez</h1>
 <p class="muted">retained traces, tail-sampled · {{.Now}} · <a href="/tracez?format=json">json</a> · <a href="/statusz">statusz</a></p>
+<form method="get" action="/tracez"><input name="q" value="{{.Query}}" size="40" placeholder="trace id | error | min_ms:25 | route substring"> <input type="submit" value="search"></form>
 <table>
 <tr><th>trace</th><th>class</th><th>kind</th><th>route</th><th>status</th><th>start</th><th>ms</th><th>spans</th><th></th></tr>
 {{range .Traces}}<tr>

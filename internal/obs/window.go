@@ -2,7 +2,6 @@ package obs
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 )
@@ -332,18 +331,7 @@ func (w *WindowedHistogram) GoodOver(d time.Duration, threshold float64) (good, 
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	bounds, counts, n, _ := w.deltas(d)
-	// First bound > threshold: buckets before it have bound <= threshold.
-	hi := sort.SearchFloat64s(bounds, threshold)
-	if hi < len(bounds) && bounds[hi] == threshold {
-		hi++
-	}
-	for i := 0; i < hi && i < len(counts); i++ {
-		good += counts[i]
-	}
-	if hi > len(bounds) { // threshold above every finite bound: overflow too
-		good = n
-	}
-	return good, n
+	return goodUnder(bounds, counts, n, threshold), n
 }
 
 // Rebase forgets the window's history and re-bases every ring slot at

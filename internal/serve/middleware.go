@@ -43,14 +43,19 @@ var routes = map[string]bool{
 	"/v1/search":      true,
 }
 
-// sloExempt marks the readiness/ops surface, which is excluded from the
+// sloExempt marks the probe/ops surface, which is excluded from the
 // SLO aggregates: a /readyz 503 is readiness signal, not a served-traffic
 // failure. Counting it would let an unready server burn its own
-// availability budget with every probe and never report ready again.
+// availability budget with every probe and never report ready again —
+// and counting /healthz probes or /metricz scrapes (the router's fleet
+// plane polls every role on a sub-second cadence) would dilute the bad
+// fraction with synthetic good traffic.
 var sloExempt = map[string]bool{
+	"/healthz": true,
 	"/readyz":  true,
 	"/alertz":  true,
 	"/statusz": true,
+	"/metricz": true,
 	"/tracez":  true,
 }
 

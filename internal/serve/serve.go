@@ -174,6 +174,17 @@ type Options struct {
 	// decision is made once at the edge — an inbound traceparent header
 	// carries it downstream instead.
 	TraceSample float64
+	// TraceSampleMax, when above TraceSample, turns on SLO-burn-adaptive
+	// head sampling: while any declared SLO fires, the edge sampling rate
+	// ramps (doubling per adapt tick) toward this ceiling, and decays
+	// back to TraceSample once the burn clears. 0 (the default) keeps
+	// the rate static at TraceSample. Only the number of retained traces
+	// changes — response bodies are untouched and the decision at any
+	// fixed rate stays deterministic per request ID.
+	TraceSampleMax float64
+	// TraceAdaptInterval is the adaptive sampling controller's tick
+	// cadence (default 10s). Only meaningful with TraceSampleMax set.
+	TraceAdaptInterval time.Duration
 	// TraceStoreSize bounds each retention class of the /tracez store
 	// (errors, kept outliers, reservoir sample) in traces (default 64).
 	TraceStoreSize int
@@ -254,6 +265,9 @@ func (o Options) withDefaults() Options {
 	if o.TraceSample == 0 {
 		o.TraceSample = 1
 	}
+	if o.TraceAdaptInterval <= 0 {
+		o.TraceAdaptInterval = 10 * time.Second
+	}
 	if o.TraceStoreSize <= 0 {
 		o.TraceStoreSize = 64
 	}
@@ -283,10 +297,13 @@ type Server struct {
 	coalesce *coalescer
 	retrain  *retrainController
 
-	// Distributed tracing: the edge head-sampler and the tail-retention
+	// Distributed tracing: the edge head-sampler (burn-adaptive when
+	// Options.TraceSampleMax raises the ceiling) and the tail-retention
 	// trace store behind /tracez.
-	sampler obs.Sampler
-	traces  *obs.TraceStore
+	sampler   *obs.AdaptiveSampler
+	traces    *obs.TraceStore
+	adaptStop chan struct{}
+	adaptDone chan struct{}
 }
 
 // New builds a Server with an empty registry. Load models through
@@ -304,8 +321,9 @@ func New(opt Options) *Server {
 		access: newAccessLog(opt.AccessLog),
 		clock:  opt.Clock,
 	}
-	s.sampler = obs.NewSampler(opt.TraceSample)
+	s.sampler = obs.NewAdaptiveSampler(opt.TraceSample, opt.TraceSampleMax, 0)
 	s.traces = obs.NewTraceStore(opt.TraceStoreSize)
+	obs.NewGaugeFunc("obs.trace_sample_rate", s.sampler.Rate)
 	if opt.SimPool != nil {
 		s.reg.SetEvalFactory(func(benchmark string, traceLen int) (core.Evaluator, error) {
 			return cluster.NewRemoteEvaluator(opt.SimPool, benchmark, traceLen, cluster.RemoteOptions{}), nil
@@ -356,11 +374,50 @@ func New(opt Options) *Server {
 	}
 	s.retrain.start()
 
+	// Burn-adaptive sampling controller: a periodic tick feeds the
+	// multi-window SLO state into the sampler's ramp/decay logic. Only
+	// started when a ceiling above the base rate makes adaptation
+	// possible; tests drive AdaptTick directly instead.
+	if opt.TraceSampleMax > 0 && s.sampler.Max() > s.sampler.Base() {
+		s.adaptStop = make(chan struct{})
+		s.adaptDone = make(chan struct{})
+		go s.adaptLoop()
+	}
+
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s
+}
+
+// AdaptTick runs one adaptive-sampling controller step: the sampling
+// rate ramps while any declared SLO fires and decays (with hysteresis)
+// once every burn has cleared. Returns the rate now in effect.
+func (s *Server) AdaptTick() float64 {
+	burning := false
+	for _, slo := range s.slos {
+		if slo.State().Firing {
+			burning = true
+			break
+		}
+	}
+	return s.sampler.Tick(burning)
+}
+
+// adaptLoop ticks the adaptive sampling controller until Shutdown.
+func (s *Server) adaptLoop() {
+	defer close(s.adaptDone)
+	t := time.NewTicker(s.opt.TraceAdaptInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.adaptStop:
+			return
+		case <-t.C:
+			s.AdaptTick()
+		}
+	}
 }
 
 // Registry exposes the model registry for loading and inspection.
@@ -437,6 +494,11 @@ func (s *Server) Shutdown(deadline time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	err := s.http.Shutdown(ctx)
+	if s.adaptStop != nil {
+		close(s.adaptStop)
+		<-s.adaptDone
+		s.adaptStop = nil
+	}
 	s.retrain.stop()
 	s.coalesce.stop()
 	s.shadow.stop()

@@ -34,6 +34,7 @@ type statuszData struct {
 	Alerts    []obs.Alert
 	Windows   string // window labels legend, e.g. "1m / 5m / 1h"
 	SimPool   []cluster.WorkerStatus
+	TraceRate string // edge head-sampling rate currently in effect
 }
 
 type sloRow struct {
@@ -97,6 +98,7 @@ svg.spark { vertical-align: middle; }
 <p>
 {{if .Ready}}<span class="ok">READY</span>{{else}}<span class="bad">UNREADY</span>{{end}}
 &middot; now {{.Now}} &middot; up {{.UptimeSec}}
+&middot; trace sample rate {{.TraceRate}}
 &middot; <span class="muted">{{.Build.GoVersion}}, model format {{.Build.ModelFormat}}{{if .Build.Revision}}, rev {{printf "%.12s" .Build.Revision}}{{if .Build.Modified}} (dirty){{end}}{{end}}</span>
 </p>
 {{if .Reasons}}<ul>{{range .Reasons}}<li class="bad">{{.Code}}: {{.Message}}</li>{{end}}</ul>{{end}}
@@ -256,6 +258,7 @@ func (s *Server) statuszData() statuszData {
 		Reasons:   reasons,
 		Alerts:    s.alerts.Alerts(),
 		Windows:   "1m / 5m / 1h",
+		TraceRate: fmt.Sprintf("%.4g", s.sampler.Rate()),
 	}
 
 	for _, slo := range s.slos {

@@ -330,6 +330,142 @@ grep -q "shut down cleanly" "$smoke_dir/router.log"
 grep -q "shut down cleanly" "$smoke_dir/shard.log"
 grep -q "shut down cleanly" "$smoke_dir/worker2.log"
 
+echo "== fleet observability smoke =="
+# Fleet plane: 2 shards + 2 workers behind the router. /fleetz must
+# aggregate both shards' request counters, the router's /tracez?q= must
+# find a cross-role trace and export it as one merged Chrome timeline,
+# and an induced SLO burn must adaptively raise the trace-sampling rate
+# and decay it back once good traffic dilutes the burn.
+predbody='{"model":"mcf","config":{"depth":12,"rob":96,"iq":48,"lsq":48,"l2kb":2048,"l2lat":10,"il1kb":32,"dl1kb":32,"dl1lat":2}}'
+"$smoke_dir/simworker" -addr 127.0.0.1:0 -id fw1 > "$smoke_dir/fworker1.log" 2>&1 &
+fw1_pid=$!
+"$smoke_dir/simworker" -addr 127.0.0.1:0 -id fw2 > "$smoke_dir/fworker2.log" 2>&1 &
+fw2_pid=$!
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models3" \
+    -search-insts 50000 -access-log off > "$smoke_dir/fshard1.log" 2>&1 &
+fs1_pid=$!
+"$smoke_dir/predserve" -addr 127.0.0.1:0 -models "$smoke_dir/models3" \
+    -search-insts 50000 -access-log off > "$smoke_dir/fshard2.log" 2>&1 &
+fs2_pid=$!
+worker_pids="$fw1_pid $fw2_pid $fs1_pid $fs2_pid"
+fw1=""; fw2=""; fs1=""; fs2=""
+for _ in $(seq 1 50); do
+    fw1=$(sed -n 's/^simworker: listening on //p' "$smoke_dir/fworker1.log")
+    fw2=$(sed -n 's/^simworker: listening on //p' "$smoke_dir/fworker2.log")
+    fs1=$(sed -n 's/^predserve: listening on //p' "$smoke_dir/fshard1.log")
+    fs2=$(sed -n 's/^predserve: listening on //p' "$smoke_dir/fshard2.log")
+    [ -n "$fw1" ] && [ -n "$fw2" ] && [ -n "$fs1" ] && [ -n "$fs2" ] && break
+    sleep 0.1
+done
+if [ -z "$fw1" ] || [ -z "$fw2" ] || [ -z "$fs1" ] || [ -z "$fs2" ]; then
+    echo "fleet roles did not start" >&2
+    exit 1
+fi
+"$smoke_dir/predrouter" -addr 127.0.0.1:0 -shards "$fs1,$fs2" -workers "$fw1,$fw2" \
+    -trace-sample 0.02 -trace-sample-max 1 -fleet-scrape-every 200ms \
+    > "$smoke_dir/frouter.log" 2>&1 &
+fr_pid=$!
+worker_pids="$worker_pids $fr_pid"
+fr=""
+for _ in $(seq 1 50); do
+    fr=$(sed -n 's/^predrouter: listening on //p' "$smoke_dir/frouter.log")
+    [ -n "$fr" ] && break
+    sleep 0.1
+done
+[ -n "$fr" ] || { echo "fleet router did not start" >&2; cat "$smoke_dir/frouter.log" >&2; exit 1; }
+# Two predictions against each shard directly, so each shard's own
+# request counter is non-zero and the merged total must cover both.
+for s in "$fs1" "$fs2"; do
+    curl -fsS -X POST "http://$s/v1/predict" -d "$predbody" > /dev/null
+    curl -fsS -X POST "http://$s/v1/predict" -d "$predbody" > /dev/null
+done
+curl -fsS "http://$fr/fleetz?refresh=1&format=json" > "$smoke_dir/fleetz.json"
+grep -q '"fleet-latency"' "$smoke_dir/fleetz.json"
+grep -q '"fleet-availability"' "$smoke_dir/fleetz.json"
+# All four scraped roles (2 shards + 2 workers) healthy in the rollup.
+healthy=$(grep -c '"healthy": true' "$smoke_dir/fleetz.json")
+if [ "$healthy" != 4 ]; then
+    echo "fleet rollup has $healthy healthy roles, want 4:" >&2
+    cat "$smoke_dir/fleetz.json" >&2
+    exit 1
+fi
+# The merged aggregate covers at least the 4 direct predictions — the
+# shard processes don't share a registry, so this is a genuine
+# cross-process sum.
+merged_reqs=$(grep -o '"serve.requests_total": [0-9]*' "$smoke_dir/fleetz.json" | head -1 | awk '{print $2}')
+if [ -z "$merged_reqs" ] || [ "$merged_reqs" -lt 4 ]; then
+    echo "merged serve.requests_total = '$merged_reqs', want >= 4" >&2
+    exit 1
+fi
+# The HTML view renders the same plane (fetched to a file: grep -q on a
+# pipe + pipefail trips curl EPIPE).
+curl -fsS "http://$fr/fleetz" > "$smoke_dir/fleetz.html"
+grep -q 'fleet status' "$smoke_dir/fleetz.html"
+# Cross-role trace: a routed predict carrying a sampled traceparent is
+# retained on router and shard under one ID; the router's federated
+# search must find it and export one merged Chrome timeline.
+curl -fsS -X POST "http://$fr/v1/predict" \
+    -H 'Traceparent: 00-fleettrace01-0000000000000007-01' \
+    -H 'X-Request-Id: fleettrace01' -d "$predbody" > /dev/null
+curl -fsS "http://$fr/tracez?format=json&q=fleettrace01" > "$smoke_dir/fleet-tracez.json"
+grep -q 'fleettrace01' "$smoke_dir/fleet-tracez.json"
+grep -q '"router"' "$smoke_dir/fleet-tracez.json"
+grep -q '"shard ' "$smoke_dir/fleet-tracez.json"
+curl -fsS "http://$fr/tracez?id=fleettrace01&format=chrome" > "$smoke_dir/fleet-trace.json"
+grep -q '"traceEvents"' "$smoke_dir/fleet-trace.json"
+# Induce an SLO burn: simulator-verified searches at 50k instructions
+# run well past the 250ms latency threshold, so with only a handful of
+# good requests in the windows both burn rates blow through the paging
+# threshold and the sampler must ramp above its 0.02 base.
+sample_rate() {
+    curl -fsS "http://$fr/metricz?format=prom" | awk '/^obs_trace_sample_rate/ {print $2}'
+}
+for _ in 1 2 3; do
+    curl -fsS -X POST "http://$fr/v1/search" -d '{"model":"mcf","verify":"sim"}' > /dev/null
+done
+burned=""
+for _ in $(seq 1 50); do
+    rate=$(sample_rate)
+    if awk -v r="$rate" 'BEGIN { exit !(r > 0.03) }'; then
+        burned=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$burned" ]; then
+    echo "trace sample rate never ramped above base under SLO burn (last: $(sample_rate))" >&2
+    curl -fsS "http://$fr/fleetz?format=json" >&2
+    exit 1
+fi
+# Flood good traffic to dilute the windowed bad fraction below the burn
+# threshold; once the burn clears, the sampler must decay back to base.
+for _ in $(seq 1 300); do
+    curl -fsS -X POST "http://$fr/v1/predict" -d "$predbody" > /dev/null
+done
+decayed=""
+for _ in $(seq 1 60); do
+    rate=$(sample_rate)
+    if awk -v r="$rate" 'BEGIN { exit !(r <= 0.02) }'; then
+        decayed=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$decayed" ]; then
+    echo "trace sample rate never decayed to base after the burn cleared (last: $(sample_rate))" >&2
+    curl -fsS "http://$fr/fleetz?format=json" >&2
+    exit 1
+fi
+# Clean SIGTERM drain of every fleet role.
+for pid in $fr_pid $fs1_pid $fs2_pid $fw1_pid $fw2_pid; do
+    kill -TERM "$pid"
+    wait "$pid"
+done
+worker_pids=""
+grep -q "shut down cleanly" "$smoke_dir/frouter.log"
+grep -q "shut down cleanly" "$smoke_dir/fshard1.log"
+grep -q "shut down cleanly" "$smoke_dir/fshard2.log"
+
 echo "== cluster throughput report =="
 go run ./cmd/benchcluster -insts 2000 -configs 8 -chunk 2 -workers 1,2 \
     -router-iters 20 -out "$smoke_dir/BENCH_cluster.json" > /dev/null
@@ -342,6 +478,8 @@ go run ./cmd/benchobs -iters 100000 -repeats 1 -sample 20 -insts 5000 \
 grep -q '"ops_ns"' "$smoke_dir/BENCH_obs.json"
 grep -q '"request_sampled_off"' "$smoke_dir/BENCH_obs.json"
 grep -q '"trace_store_retention"' "$smoke_dir/BENCH_obs.json"
+grep -q '"fleet_merge_4_reports"' "$smoke_dir/BENCH_obs.json"
+grep -q '"trace_search_fanout_2"' "$smoke_dir/BENCH_obs.json"
 
 echo "== predict throughput report =="
 go run ./cmd/benchpredict -insts 2000 -sample 12 -lhs 4 -mintime 10ms \
